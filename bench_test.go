@@ -1,0 +1,516 @@
+// Package pcapsim's benchmark harness: one benchmark per table and figure
+// of the paper plus ablations over the design choices DESIGN.md calls out
+// and micro-benchmarks of the hot paths.
+//
+// Accuracy and energy benchmarks report their headline numbers through
+// b.ReportMetric (hit%, miss%, saved%), so `go test -bench .` regenerates
+// the paper's results alongside the timing:
+//
+//	go test -bench 'BenchmarkFig7' -benchmem
+package pcapsim
+
+import (
+	"fmt"
+	"testing"
+
+	"pcapsim/internal/classic"
+	"pcapsim/internal/core"
+	"pcapsim/internal/experiments"
+	"pcapsim/internal/fscache"
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// --- Tables ------------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		if s.RenderTable2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Entries[core.VariantBase]), "mozilla-entries")
+		}
+	}
+}
+
+// --- Figures -----------------------------------------------------------
+
+// reportAccuracy surfaces a figure's across-application averages.
+func reportAccuracy(b *testing.B, fig func(*experiments.Suite) (*experiments.AccuracyFigure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		f, err := fig(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, name := range f.Policies {
+				avg := f.Average[name]
+				b.ReportMetric(100*avg.Hit, name+"-hit%")
+				b.ReportMetric(100*avg.Miss, name+"-miss%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	reportAccuracy(b, (*experiments.Suite).Fig6)
+}
+
+func BenchmarkFig7(b *testing.B) {
+	reportAccuracy(b, (*experiments.Suite).Fig7)
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		f, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, name := range f.Policies {
+				b.ReportMetric(100*f.AverageSavings[name], name+"-saved%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	reportAccuracy(b, (*experiments.Suite).Fig9)
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		f, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, name := range f.Policies {
+				b.ReportMetric(100*f.Average[name].HitPrimary, name+"-hitprim%")
+			}
+		}
+	}
+}
+
+func BenchmarkTPTimeoutSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.TPSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.AvgSavings, fmt.Sprintf("tp%gs-saved%%", r.Timeout.Seconds()))
+			}
+		}
+	}
+}
+
+func BenchmarkMultiState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.MultiState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var plain, multi float64
+			for _, r := range rows {
+				plain += r.SavedPlain
+				multi += r.SavedMulti
+			}
+			n := float64(len(rows))
+			b.ReportMetric(100*plain/n, "pcap-saved%")
+			b.ReportMetric(100*multi/n, "pcap+lp-saved%")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) -------------------------------------------
+
+// runMozilla evaluates one PCAP-family policy on the mozilla workload and
+// returns its global counts plus saved energy fraction.
+func runMozilla(b *testing.B, runner *sim.Runner, pol sim.Policy) (sim.Counts, float64) {
+	b.Helper()
+	app, _ := workload.ByName("mozilla")
+	traces := app.Traces(experiments.DefaultSeed)
+	base, err := runner.RunApp(traces, sim.Policy{
+		Name:       "Base",
+		NewFactory: func() predictor.Factory { return predictor.AlwaysOn{} },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := runner.RunApp(traces, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Global, 1 - res.Energy.Total()/base.Energy.Total()
+}
+
+func pcapPolicy(cfg core.Config) sim.Policy {
+	return sim.Policy{
+		Name:       "PCAP",
+		NewFactory: func() predictor.Factory { return core.MustNew(cfg) },
+		Reuse:      true,
+	}
+}
+
+func BenchmarkAblationWaitWindow(b *testing.B) {
+	for _, ms := range []int{250, 500, 1000, 2000, 4000} {
+		b.Run(fmt.Sprintf("window=%dms", ms), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := core.DefaultConfig(core.VariantBase)
+				cfg.WaitWindow = trace.Time(ms) * trace.Millisecond
+				counts, saved := runMozilla(b, runner, pcapPolicy(cfg))
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.Miss, "miss%")
+					b.ReportMetric(100*saved, "saved%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationHistoryLen(b *testing.B) {
+	for _, h := range []int{2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := core.DefaultConfig(core.VariantH)
+				cfg.HistoryLen = h
+				counts, saved := runMozilla(b, runner, pcapPolicy(cfg))
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.Miss, "miss%")
+					b.ReportMetric(100*saved, "saved%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLTHistory(b *testing.B) {
+	for _, h := range []int{2, 4, 8, 12} {
+		b.Run(fmt.Sprintf("depth=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := ltree.DefaultConfig()
+				cfg.HistoryLen = h
+				pol := sim.Policy{
+					Name:       "LT",
+					NewFactory: func() predictor.Factory { return ltree.MustNew(cfg) },
+					Reuse:      true,
+				}
+				counts, saved := runMozilla(b, runner, pol)
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.Miss, "miss%")
+					b.ReportMetric(100*saved, "saved%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSignature(b *testing.B) {
+	for _, enc := range []core.Encoding{core.EncodingSum, core.EncodingRotXor} {
+		b.Run(enc.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := core.DefaultConfig(core.VariantBase)
+				cfg.Encoding = enc
+				counts, _ := runMozilla(b, runner, pcapPolicy(cfg))
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.Miss, "miss%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTableBound(b *testing.B) {
+	for _, bound := range []int{8, 16, 32, 64, 0} {
+		name := fmt.Sprintf("bound=%d", bound)
+		if bound == 0 {
+			name = "bound=unlimited"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := core.DefaultConfig(core.VariantBase)
+				cfg.TableBound = bound
+				counts, _ := runMozilla(b, runner, pcapPolicy(cfg))
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.HitPrimary, "hitprim%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("cache=%dKB", kb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simCfg := sim.DefaultConfig()
+				simCfg.Cache.SizeBytes = kb * 1024
+				runner := sim.MustNewRunner(simCfg)
+				counts, saved := runMozilla(b, runner, pcapPolicy(core.DefaultConfig(core.VariantBase)))
+				if i == b.N-1 {
+					b.ReportMetric(float64(counts.LongPeriods), "long-periods")
+					b.ReportMetric(100*saved, "saved%")
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+func BenchmarkPCAPOnAccess(b *testing.B) {
+	p := core.MustNew(core.DefaultConfig(core.VariantBase))
+	proc := p.NewProcess(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc.OnAccess(predictor.Access{
+			Time: trace.Time(i) * 100 * trace.Millisecond,
+			PC:   trace.PC(0x1000 + i%7),
+			FD:   3,
+		})
+	}
+}
+
+func BenchmarkPCAPOnAccessWithHistory(b *testing.B) {
+	p := core.MustNew(core.DefaultConfig(core.VariantFH))
+	proc := p.NewProcess(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc.OnAccess(predictor.Access{
+			Time: trace.Time(i) * 2 * trace.Second,
+			PC:   trace.PC(0x1000 + i%7),
+			FD:   trace.FD(i % 4),
+		})
+	}
+}
+
+func BenchmarkLTOnAccess(b *testing.B) {
+	l := ltree.MustNew(ltree.DefaultConfig())
+	proc := l.NewProcess(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gap := 2 * trace.Second
+		if i%3 == 0 {
+			gap = 30 * trace.Second
+		}
+		proc.OnAccess(predictor.Access{Time: trace.Time(i) * gap})
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tab := core.NewTable(0)
+	for i := 0; i < 1000; i++ {
+		tab.Train(core.Key{Sig: core.Signature(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(core.Key{Sig: core.Signature(i % 2000)})
+	}
+}
+
+func BenchmarkCacheFilter(b *testing.B) {
+	app, _ := workload.ByName("nedit")
+	tr := app.Trace(experiments.DefaultSeed, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := fscache.New(fscache.DefaultConfig())
+		if _, err := c.Filter(tr.Events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	app, _ := workload.ByName("mozilla")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := app.Trace(experiments.DefaultSeed, i%app.Executions)
+		if tr.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkBinaryCodec(b *testing.B) {
+	app, _ := workload.ByName("xemacs")
+	tr := app.Trace(experiments.DefaultSeed, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf))
+	}
+}
+
+// writeCounter counts bytes without retaining them.
+type writeCounter int
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}
+
+func BenchmarkFullSimulation(b *testing.B) {
+	app, _ := workload.ByName("writer")
+	traces := app.Traces(experiments.DefaultSeed)
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	var ios int
+	for _, tr := range traces {
+		ios += tr.IOCount()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := pcapPolicy(core.DefaultConfig(core.VariantBase))
+		if _, err := runner.RunApp(traces, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ios)*float64(b.N)/b.Elapsed().Seconds(), "ios/s")
+}
+
+func BenchmarkPredictorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.Predictors()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.Saved, r.Policy+"-saved%")
+			}
+		}
+	}
+}
+
+func BenchmarkDeviceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.DevicesExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.PCAPSaved, fmt.Sprintf("be%.1fs-pcap-saved%%", r.Breakeven))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationUnlearn(b *testing.B) {
+	for _, unlearn := range []bool{false, true} {
+		name := "paper"
+		if unlearn {
+			name = "unlearn"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runner := sim.MustNewRunner(sim.DefaultConfig())
+				cfg := core.DefaultConfig(core.VariantBase)
+				cfg.UnlearnMisses = unlearn
+				counts, saved := runMozilla(b, runner, pcapPolicy(cfg))
+				if i == b.N-1 {
+					f := counts.Fractions()
+					b.ReportMetric(100*f.Hit, "hit%")
+					b.ReportMetric(100*f.Miss, "miss%")
+					b.ReportMetric(100*saved, "saved%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClassicOnAccess(b *testing.B) {
+	for _, f := range []predictor.Factory{
+		classic.MustNewExpAverage(classic.DefaultExpAverageConfig()),
+		classic.MustNewLShape(classic.DefaultLShapeConfig()),
+		classic.MustNewAdaptiveTimeout(classic.DefaultAdaptiveTimeoutConfig()),
+	} {
+		b.Run(f.Name(), func(b *testing.B) {
+			proc := f.NewProcess(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gap := 2 * trace.Second
+				if i%3 == 0 {
+					gap = 30 * trace.Second
+				}
+				proc.OnAccess(predictor.Access{Time: trace.Time(i) * gap})
+			}
+		})
+	}
+}
+
+func BenchmarkPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		rows, err := s.Prefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var g, p float64
+			for _, r := range rows {
+				g += r.Global.MissRate()
+				p += r.PC.MissRate()
+			}
+			n := float64(len(rows))
+			b.ReportMetric(100*g/n, "readahead-miss%")
+			b.ReportMetric(100*p/n, "pc-miss%")
+		}
+	}
+}

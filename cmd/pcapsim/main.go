@@ -1,0 +1,123 @@
+// Command pcapsim regenerates the paper's tables and figures from the
+// synthetic workloads.
+//
+// Usage:
+//
+//	pcapsim -exp all
+//	pcapsim -exp fig7 -seed 42
+//	pcapsim -exp table1,fig6,fig8
+//
+// Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
+// tpsweep, multistate, predictors, devices, prefetch, and "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcapsim/internal/experiments"
+	"pcapsim/internal/sim"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiments (table1,table2,table3,fig6,fig7,fig8,fig9,fig10,tpsweep,multistate,predictors,devices,prefetch,all)")
+		seedFlag = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
+		barsFlag = flag.Bool("bars", false, "render accuracy figures as stacked bars instead of tables")
+	)
+	flag.Parse()
+
+	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	order := []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "tpsweep", "multistate", "predictors", "devices", "prefetch"}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		e = strings.TrimSpace(strings.ToLower(e))
+		if e == "" {
+			continue
+		}
+		if e == "all" {
+			for _, o := range order {
+				want[o] = true
+			}
+			continue
+		}
+		want[e] = true
+	}
+	known := map[string]bool{}
+	for _, o := range order {
+		known[o] = true
+	}
+	for e := range want {
+		if !known[e] {
+			fatal(fmt.Errorf("unknown experiment %q", e))
+		}
+	}
+
+	for _, e := range order {
+		if !want[e] {
+			continue
+		}
+		out, err := run(suite, e, *barsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func run(s *experiments.Suite, exp string, bars bool) (string, error) {
+	renderAcc := func(f *experiments.AccuracyFigure, err error) (string, error) {
+		if err != nil {
+			return "", err
+		}
+		if bars {
+			return f.RenderBars(), nil
+		}
+		return f.Render(), nil
+	}
+	switch exp {
+	case "table1":
+		return s.RenderTable1()
+	case "table2":
+		return s.RenderTable2(), nil
+	case "table3":
+		return s.RenderTable3()
+	case "fig6":
+		return renderAcc(s.Fig6())
+	case "fig7":
+		return renderAcc(s.Fig7())
+	case "fig8":
+		f, err := s.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	case "fig9":
+		return renderAcc(s.Fig9())
+	case "fig10":
+		return renderAcc(s.Fig10())
+	case "tpsweep":
+		return s.RenderTPSweep()
+	case "multistate":
+		return s.RenderMultiState()
+	case "predictors":
+		return s.RenderPredictors()
+	case "devices":
+		return s.RenderDevices()
+	case "prefetch":
+		return s.RenderPrefetch()
+	default:
+		return "", fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcapsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command tracegen generates the synthetic application traces used by the
+// experiments and writes them to disk, one file per execution.
+//
+// Usage:
+//
+//	tracegen -app mozilla -out traces/            # all executions, binary
+//	tracegen -app nedit -exec 3 -format text -out .   # one execution, text
+//	tracegen -app all -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pcapsim/internal/experiments"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+func main() {
+	var (
+		appFlag    = flag.String("app", "all", "application name or 'all'")
+		execFlag   = flag.Int("exec", -1, "single execution index (default: all)")
+		seedFlag   = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
+		formatFlag = flag.String("format", "binary", "output format: binary or text")
+		outFlag    = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var apps []*workload.App
+	if *appFlag == "all" {
+		apps = workload.Apps()
+	} else {
+		a, ok := workload.ByName(*appFlag)
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q (known: %v)", *appFlag, workload.Names()))
+		}
+		apps = []*workload.App{a}
+	}
+	if *formatFlag != "binary" && *formatFlag != "text" {
+		fatal(fmt.Errorf("unknown format %q", *formatFlag))
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		fatal(err)
+	}
+
+	for _, a := range apps {
+		lo, hi := 0, a.Executions
+		if *execFlag >= 0 {
+			if *execFlag >= a.Executions {
+				fatal(fmt.Errorf("%s has %d executions; -exec %d out of range", a.Name, a.Executions, *execFlag))
+			}
+			lo, hi = *execFlag, *execFlag+1
+		}
+		for exec := lo; exec < hi; exec++ {
+			tr := a.Trace(*seedFlag, exec)
+			ext := "pctr"
+			if *formatFlag == "text" {
+				ext = "txt"
+			}
+			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%03d.%s", a.Name, exec, ext))
+			if err := writeTrace(path, tr, *formatFlag); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d events, %d I/Os, %.1f s\n",
+				path, tr.Len(), tr.IOCount(), tr.Duration().Seconds())
+		}
+	}
+}
+
+func writeTrace(path string, tr *trace.Trace, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "text" {
+		if err := trace.WriteText(f, tr); err != nil {
+			return err
+		}
+	} else {
+		if err := trace.WriteBinary(f, tr); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command traceinspect summarizes a trace file written by tracegen: event
+// counts, per-process activity, idle-period structure at a given
+// breakeven, and optionally the first events in text form.
+//
+// Usage:
+//
+//	traceinspect traces/mozilla-000.pctr
+//	traceinspect -head 25 -breakeven 5.43 traces/nedit-003.pctr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pcapsim/internal/trace"
+)
+
+func main() {
+	var (
+		headFlag      = flag.Int("head", 0, "print the first N events as text")
+		breakevenFlag = flag.Float64("breakeven", 5.43, "breakeven time in seconds for idle-period stats")
+		formatFlag    = flag.String("format", "auto", "input format: binary, text or auto")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: traceinspect [flags] <trace-file>"))
+	}
+	tr, err := read(flag.Arg(0), *formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinspect: warning:", err)
+	}
+
+	fmt.Printf("app %s execution %d\n", tr.App, tr.Execution)
+	fmt.Printf("events %d (I/O %d), duration %.1f s\n", tr.Len(), tr.IOCount(), tr.Duration().Seconds())
+
+	// Per-process activity.
+	type pstat struct {
+		ios   int
+		first trace.Time
+		last  trace.Time
+	}
+	procs := map[trace.PID]*pstat{}
+	for _, e := range tr.Events {
+		if !e.IsIO() {
+			continue
+		}
+		p := procs[e.Pid]
+		if p == nil {
+			p = &pstat{first: e.Time}
+			procs[e.Pid] = p
+		}
+		p.ios++
+		p.last = e.Time
+	}
+	pids := make([]trace.PID, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	fmt.Println("\nprocesses:")
+	for _, pid := range pids {
+		p := procs[pid]
+		fmt.Printf("  pid %-6d %7d I/Os   active %.1f–%.1f s\n",
+			pid, p.ios, p.first.Seconds(), p.last.Seconds())
+	}
+
+	// Idle-period structure of the merged I/O stream.
+	be := trace.FromSeconds(*breakevenFlag)
+	var prev trace.Time
+	havePrev := false
+	short, long := 0, 0
+	var longTotal trace.Time
+	for _, e := range tr.Events {
+		if !e.IsIO() {
+			continue
+		}
+		if havePrev {
+			gap := e.Time - prev
+			if gap >= be {
+				long++
+				longTotal += gap
+			} else if gap > 0 {
+				short++
+			}
+		}
+		prev = e.Time
+		havePrev = true
+	}
+	fmt.Printf("\nidle periods at breakeven %.2f s: %d long (total %.1f s), %d short\n",
+		*breakevenFlag, long, longTotal.Seconds(), short)
+
+	if *headFlag > 0 {
+		fmt.Println("\nfirst events:")
+		n := *headFlag
+		if n > tr.Len() {
+			n = tr.Len()
+		}
+		for _, e := range tr.Events[:n] {
+			fmt.Println(" ", e.String())
+		}
+	}
+}
+
+func read(path, format string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "binary":
+		return trace.ReadBinary(f)
+	case "text":
+		return trace.ReadText(f)
+	case "auto":
+		// Sniff the magic.
+		var magic [4]byte
+		if _, err := f.Read(magic[:]); err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		if string(magic[:]) == "PCTR" {
+			return trace.ReadBinary(f)
+		}
+		return trace.ReadText(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinspect:", err)
+	os.Exit(1)
+}

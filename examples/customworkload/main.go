@@ -1,0 +1,106 @@
+// Custom workload: builds a brand-new application model with the workload
+// builder — a photo organizer the paper never studied — and evaluates the
+// standard predictor lineup on it. This is the path a downstream user
+// takes to try PCAP on their own application's I/O behaviour.
+package main
+
+import (
+	"fmt"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/rng"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// The photo organizer's I/O call sites.
+const (
+	pcLibLoad   = 0x4a10_2240
+	pcCatalog   = 0x0805_9c70
+	pcThumbRead = 0x0806_21b4
+	pcFullRead  = 0x0806_4e88
+	pcTagWrite  = 0x0806_8d3c
+	pcExportWr  = 0x0807_1f60
+)
+
+// photoTrace generates one execution: the user flips through thumbnails
+// (short pauses), opens a full-resolution image and studies it (long
+// pause), occasionally tags or exports.
+func photoTrace(seed uint64, exec int) *trace.Trace {
+	b := workload.NewBuilder(rng.New(seed).Split(uint64(exec)+1), exec)
+	root := b.Root()
+
+	// Startup: library load and catalog scan.
+	b.AdvanceRange(0.1, 0.3)
+	b.Burst(root, workload.R(pcLibLoad), 3, 150, 0.005, 0.02)
+	b.Advance(0.1)
+	b.Burst(root, workload.R(pcCatalog), 4, 80, 0.005, 0.02)
+
+	albums := 3 + b.R.Intn(3)
+	for a := 0; a < albums; a++ {
+		// Flip through thumbnails: short pauses between rows.
+		rows := 2 + b.R.Intn(2)
+		for r := 0; r < rows; r++ {
+			b.AdvanceRange(1.5, 4.5)
+			b.Burst(root, workload.R(pcThumbRead), 5, 40, 0.003, 0.012)
+		}
+		// Open one image full-size and study it: the long idle period.
+		b.AdvanceRange(0.3, 0.8)
+		b.Burst(root, workload.R(pcFullRead), 6, 120, 0.003, 0.012)
+		if b.R.Bool(0.4) {
+			b.AdvanceRange(0.05, 0.15)
+			b.BurstAt(root, workload.W(pcTagWrite), 6, 0, 4, 2, 0.01, 0.02)
+		}
+		b.Advance(b.R.Range(15, 240))
+	}
+
+	// Export the selection and quit.
+	b.Burst(root, workload.W(pcExportWr), 7, 60, 0.005, 0.02)
+	b.AdvanceRange(0.2, 0.5)
+	b.IO(root, workload.O(pcCatalog), 3, b.FreshBlocks(1))
+	b.AdvanceRange(0.05, 0.2)
+	b.Exit(root)
+
+	tr := b.Build("photo-organizer", exec)
+	return tr
+}
+
+func main() {
+	const executions = 25
+	traces := make([]*trace.Trace, executions)
+	for i := range traces {
+		traces[i] = photoTrace(99, i)
+		if err := traces[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("photo-organizer: %d executions, %d I/Os in the first one\n\n",
+		executions, traces[0].IOCount())
+
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	policies := []sim.Policy{
+		{Name: "Base", NewFactory: func() predictor.Factory { return predictor.AlwaysOn{} }},
+		{Name: "TP", NewFactory: func() predictor.Factory { return predictor.NewTimeout(10 * trace.Second) }},
+		{Name: "LT", NewFactory: func() predictor.Factory { return ltree.MustNew(ltree.DefaultConfig()) }, Reuse: true},
+		{Name: "PCAP", NewFactory: func() predictor.Factory { return core.MustNew(core.DefaultConfig(core.VariantBase)) }, Reuse: true},
+	}
+	var baseTotal float64
+	for _, pol := range policies {
+		res, err := runner.RunApp(traces, pol)
+		if err != nil {
+			panic(err)
+		}
+		if pol.Name == "Base" {
+			baseTotal = res.Energy.Total()
+			fmt.Printf("%-5s %d long idle periods, %.0f J total\n",
+				pol.Name, res.Global.LongPeriods, baseTotal)
+			continue
+		}
+		f := res.Global.Fractions()
+		fmt.Printf("%-5s hit %5.1f%%  miss %5.1f%%  saved %5.1f%%\n",
+			pol.Name, 100*f.Hit, 100*f.Miss, 100*(1-res.Energy.Total()/baseTotal))
+	}
+}

@@ -1,0 +1,87 @@
+// Prediction-table persistence: the paper's Section 4.2 end to end. The
+// application's trained table is saved to its initialization file when it
+// exits and loaded when it starts again; this example runs the first half
+// of mozilla's executions, persists the table to disk, reloads it into a
+// fresh predictor, and shows the second half starting warm — against a
+// cold run of the same executions.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/persist"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pcap-init-files")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	app, _ := workload.ByName("mozilla")
+	traces := app.Traces(20040214)
+	first, second := traces[:len(traces)/2], traces[len(traces)/2:]
+
+	// Phase 1: run the first half with one shared predictor and persist
+	// its table — what the application does at exit.
+	warm := core.MustNew(core.DefaultConfig(core.VariantBase))
+	keep := sim.Policy{
+		Name:       "train",
+		NewFactory: func() predictor.Factory { return warm },
+		Reuse:      true,
+	}
+	if _, err := runner.RunApp(first, keep); err != nil {
+		panic(err)
+	}
+	path, err := persist.SaveTableFile(dir, "mozilla", warm)
+	if err != nil {
+		panic(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("trained on %d executions: %d table entries persisted to %s (%d bytes on disk)\n\n",
+		len(first), warm.Table().Len(), path, fi.Size())
+
+	// Phase 2: a fresh predictor loads the initialization file — what the
+	// application does at startup — and runs the second half.
+	run := func(name string, loaded bool) sim.Counts {
+		pol := sim.Policy{
+			Name: name,
+			NewFactory: func() predictor.Factory {
+				p := core.MustNew(core.DefaultConfig(core.VariantBase))
+				if loaded {
+					found, err := persist.LoadTableFile(dir, "mozilla", p)
+					if err != nil {
+						panic(err)
+					}
+					if !found {
+						panic("initialization file missing")
+					}
+				}
+				return p
+			},
+			Reuse: true,
+		}
+		res, err := runner.RunApp(second, pol)
+		if err != nil {
+			panic(err)
+		}
+		return res.Global
+	}
+
+	cold := run("cold", false)
+	warmC := run("warm", true)
+	fc, fw := cold.Fractions(), warmC.Fractions()
+	fmt.Printf("second half (%d executions), cold start: primary hits %.1f%%, backup hits %.1f%%\n",
+		len(second), 100*fc.HitPrimary, 100*fc.HitBackup)
+	fmt.Printf("second half (%d executions), warm start: primary hits %.1f%%, backup hits %.1f%%\n",
+		len(second), 100*fw.HitPrimary, 100*fw.HitBackup)
+	fmt.Println("\nthe loaded table converts backup-timer shutdowns into immediate")
+	fmt.Println("primary shutdowns — the effect behind the paper's Figure 10.")
+}

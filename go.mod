@@ -1,0 +1,3 @@
+module pcapsim
+
+go 1.22

@@ -1,0 +1,327 @@
+// Package classic implements the pre-PCAP shutdown predictors the paper's
+// Section 2 surveys, beyond the timeout predictor and Learning Tree that
+// the paper evaluates directly:
+//
+//   - ExpAverage — Hwang & Wu's predictive shutdown: the next idle
+//     period's length is forecast as an exponentially weighted average of
+//     predicted and actual previous lengths; a forecast above breakeven
+//     triggers an immediate (wait-window guarded) shutdown.
+//   - LShape — Srivastava, Chandrakasan & Brodersen's observation that
+//     long idle periods follow *short* busy periods (the L-shaped
+//     scatter): a busy period under the threshold predicts a long idle
+//     period.
+//   - AdaptiveTimeout — Douglis, Krishnan & Bershad's feedback timer: the
+//     timeout shrinks after correct shutdowns and grows after premature
+//     ones, bounded to [Min, Max].
+//
+// All three follow the same contract as PCAP and LT: they accelerate the
+// backup timeout, never suppress it, and an access inside the scheduled
+// delay cancels the shutdown (the sliding wait-window).
+package classic
+
+import (
+	"fmt"
+
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+// ExpAverageConfig parameterizes the exponential-average predictor.
+type ExpAverageConfig struct {
+	// Alpha is the smoothing factor: forecast' = Alpha·actual +
+	// (1−Alpha)·forecast. Hwang & Wu use 0.5.
+	Alpha float64
+	// WaitWindow guards predicted shutdowns (1 s).
+	WaitWindow trace.Time
+	// BackupTimeout is the fallback timer (10 s).
+	BackupTimeout trace.Time
+	// Breakeven is the shutdown-worthiness threshold.
+	Breakeven trace.Time
+}
+
+// DefaultExpAverageConfig returns Hwang & Wu's α = 0.5 with the study's
+// standard wait-window, backup timer and breakeven.
+func DefaultExpAverageConfig() ExpAverageConfig {
+	return ExpAverageConfig{
+		Alpha:         0.5,
+		WaitWindow:    trace.Second,
+		BackupTimeout: 10 * trace.Second,
+		Breakeven:     trace.FromSeconds(5.43),
+	}
+}
+
+// Validate checks the configuration.
+func (c ExpAverageConfig) Validate() error {
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("classic: alpha must be in (0,1], got %g", c.Alpha)
+	case c.WaitWindow <= 0:
+		return fmt.Errorf("classic: wait window must be positive")
+	case c.BackupTimeout <= 0:
+		return fmt.Errorf("classic: backup timeout must be positive")
+	case c.Breakeven <= 0:
+		return fmt.Errorf("classic: breakeven must be positive")
+	}
+	return nil
+}
+
+// ExpAverage is the Hwang & Wu predictor factory.
+type ExpAverage struct{ cfg ExpAverageConfig }
+
+var _ predictor.Factory = (*ExpAverage)(nil)
+
+// NewExpAverage returns an ExpAverage factory.
+func NewExpAverage(cfg ExpAverageConfig) (*ExpAverage, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ExpAverage{cfg: cfg}, nil
+}
+
+// MustNewExpAverage is NewExpAverage, panicking on error.
+func MustNewExpAverage(cfg ExpAverageConfig) *ExpAverage {
+	e, err := NewExpAverage(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name implements predictor.Factory.
+func (e *ExpAverage) Name() string { return "ExpAvg" }
+
+// NewProcess implements predictor.Factory.
+func (e *ExpAverage) NewProcess(trace.PID) predictor.Process {
+	return &expAverageProcess{cfg: &e.cfg}
+}
+
+type expAverageProcess struct {
+	cfg      *ExpAverageConfig
+	started  bool
+	last     trace.Time
+	forecast float64 // seconds
+	trained  bool
+}
+
+// OnAccess implements predictor.Process.
+func (p *expAverageProcess) OnAccess(a predictor.Access) predictor.Decision {
+	if p.started {
+		gap := a.Time - p.last
+		if gap >= p.cfg.WaitWindow {
+			// Update the forecast with the completed idle period.
+			actual := gap.Seconds()
+			if !p.trained {
+				p.forecast = actual
+				p.trained = true
+			} else {
+				p.forecast = p.cfg.Alpha*actual + (1-p.cfg.Alpha)*p.forecast
+			}
+		}
+	}
+	p.started = true
+	p.last = a.Time
+	if p.trained && p.forecast >= p.cfg.Breakeven.Seconds() {
+		return predictor.Decision{Shutdown: true, Delay: p.cfg.WaitWindow, Source: predictor.SourcePrimary}
+	}
+	return predictor.Decision{Shutdown: true, Delay: p.cfg.BackupTimeout, Source: predictor.SourceBackup}
+}
+
+// LShapeConfig parameterizes the busy-period predictor.
+type LShapeConfig struct {
+	// BusyThreshold: busy periods shorter than this predict a long idle
+	// period (the corner of the L).
+	BusyThreshold trace.Time
+	// WaitWindow guards predicted shutdowns and separates bursts from
+	// idle periods.
+	WaitWindow trace.Time
+	// BackupTimeout is the fallback timer.
+	BackupTimeout trace.Time
+}
+
+// DefaultLShapeConfig returns a 3 s busy threshold with the study's
+// standard wait-window and backup timer.
+func DefaultLShapeConfig() LShapeConfig {
+	return LShapeConfig{
+		BusyThreshold: 3 * trace.Second,
+		WaitWindow:    trace.Second,
+		BackupTimeout: 10 * trace.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c LShapeConfig) Validate() error {
+	switch {
+	case c.BusyThreshold <= 0:
+		return fmt.Errorf("classic: busy threshold must be positive")
+	case c.WaitWindow <= 0:
+		return fmt.Errorf("classic: wait window must be positive")
+	case c.BackupTimeout <= 0:
+		return fmt.Errorf("classic: backup timeout must be positive")
+	}
+	return nil
+}
+
+// LShape is the Srivastava et al. predictor factory.
+type LShape struct{ cfg LShapeConfig }
+
+var _ predictor.Factory = (*LShape)(nil)
+
+// NewLShape returns an LShape factory.
+func NewLShape(cfg LShapeConfig) (*LShape, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &LShape{cfg: cfg}, nil
+}
+
+// MustNewLShape is NewLShape, panicking on error.
+func MustNewLShape(cfg LShapeConfig) *LShape {
+	l, err := NewLShape(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Name implements predictor.Factory.
+func (l *LShape) Name() string { return "LShape" }
+
+// NewProcess implements predictor.Factory.
+func (l *LShape) NewProcess(trace.PID) predictor.Process {
+	return &lShapeProcess{cfg: &l.cfg}
+}
+
+type lShapeProcess struct {
+	cfg       *LShapeConfig
+	started   bool
+	last      trace.Time
+	busyStart trace.Time
+}
+
+// OnAccess implements predictor.Process.
+func (p *lShapeProcess) OnAccess(a predictor.Access) predictor.Decision {
+	if !p.started {
+		p.started = true
+		p.busyStart = a.Time
+	} else if a.Time-p.last >= p.cfg.WaitWindow {
+		// The previous burst ended with an idle period; a new busy
+		// period begins at this access.
+		p.busyStart = a.Time
+	}
+	p.last = a.Time
+	busy := a.Time - p.busyStart
+	if busy < p.cfg.BusyThreshold {
+		// Short busy period so far: the L-shape predicts the next idle
+		// period will be long.
+		return predictor.Decision{Shutdown: true, Delay: p.cfg.WaitWindow, Source: predictor.SourcePrimary}
+	}
+	return predictor.Decision{Shutdown: true, Delay: p.cfg.BackupTimeout, Source: predictor.SourceBackup}
+}
+
+// AdaptiveTimeoutConfig parameterizes the feedback timer.
+type AdaptiveTimeoutConfig struct {
+	// Initial, Min and Max bound the timer.
+	Initial, Min, Max trace.Time
+	// Grow and Shrink are the multiplicative feedback factors applied
+	// after premature and correct shutdowns respectively.
+	Grow, Shrink float64
+	// Breakeven classifies the observed idle periods for the feedback.
+	Breakeven trace.Time
+}
+
+// DefaultAdaptiveTimeoutConfig returns a 10 s initial timer bounded to
+// [2 s, 60 s] with ×2 growth and ×0.5 shrink.
+func DefaultAdaptiveTimeoutConfig() AdaptiveTimeoutConfig {
+	return AdaptiveTimeoutConfig{
+		Initial:   10 * trace.Second,
+		Min:       2 * trace.Second,
+		Max:       60 * trace.Second,
+		Grow:      2.0,
+		Shrink:    0.5,
+		Breakeven: trace.FromSeconds(5.43),
+	}
+}
+
+// Validate checks the configuration.
+func (c AdaptiveTimeoutConfig) Validate() error {
+	switch {
+	case c.Min <= 0 || c.Max < c.Min:
+		return fmt.Errorf("classic: timer bounds [%v,%v] invalid", c.Min, c.Max)
+	case c.Initial < c.Min || c.Initial > c.Max:
+		return fmt.Errorf("classic: initial timer %v outside [%v,%v]", c.Initial, c.Min, c.Max)
+	case c.Grow <= 1:
+		return fmt.Errorf("classic: grow factor must exceed 1, got %g", c.Grow)
+	case c.Shrink <= 0 || c.Shrink >= 1:
+		return fmt.Errorf("classic: shrink factor must be in (0,1), got %g", c.Shrink)
+	case c.Breakeven <= 0:
+		return fmt.Errorf("classic: breakeven must be positive")
+	}
+	return nil
+}
+
+// AdaptiveTimeout is the Douglis et al. predictor factory.
+type AdaptiveTimeout struct{ cfg AdaptiveTimeoutConfig }
+
+var _ predictor.Factory = (*AdaptiveTimeout)(nil)
+
+// NewAdaptiveTimeout returns an AdaptiveTimeout factory.
+func NewAdaptiveTimeout(cfg AdaptiveTimeoutConfig) (*AdaptiveTimeout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AdaptiveTimeout{cfg: cfg}, nil
+}
+
+// MustNewAdaptiveTimeout is NewAdaptiveTimeout, panicking on error.
+func MustNewAdaptiveTimeout(cfg AdaptiveTimeoutConfig) *AdaptiveTimeout {
+	a, err := NewAdaptiveTimeout(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements predictor.Factory.
+func (a *AdaptiveTimeout) Name() string { return "AdaptTP" }
+
+// NewProcess implements predictor.Factory.
+func (a *AdaptiveTimeout) NewProcess(trace.PID) predictor.Process {
+	return &adaptiveProcess{cfg: &a.cfg, timer: a.cfg.Initial}
+}
+
+type adaptiveProcess struct {
+	cfg     *AdaptiveTimeoutConfig
+	started bool
+	last    trace.Time
+	timer   trace.Time
+}
+
+// OnAccess implements predictor.Process.
+func (p *adaptiveProcess) OnAccess(a predictor.Access) predictor.Decision {
+	if p.started {
+		gap := a.Time - p.last
+		switch {
+		case gap > p.timer && gap-p.timer < p.cfg.Breakeven:
+			// The timer expired but the disk woke before breaking even:
+			// a premature shutdown — back off.
+			p.timer = clampTimer(trace.Time(float64(p.timer)*p.cfg.Grow), p.cfg)
+		case gap >= p.timer+p.cfg.Breakeven:
+			// A correct shutdown: the timer can afford to be more eager.
+			p.timer = clampTimer(trace.Time(float64(p.timer)*p.cfg.Shrink), p.cfg)
+		}
+	}
+	p.started = true
+	p.last = a.Time
+	// The adaptive timer is the primary mechanism itself.
+	return predictor.Decision{Shutdown: true, Delay: p.timer, Source: predictor.SourcePrimary}
+}
+
+func clampTimer(t trace.Time, cfg *AdaptiveTimeoutConfig) trace.Time {
+	if t < cfg.Min {
+		return cfg.Min
+	}
+	if t > cfg.Max {
+		return cfg.Max
+	}
+	return t
+}

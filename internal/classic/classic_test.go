@@ -1,0 +1,193 @@
+package classic
+
+import (
+	"testing"
+
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+func access(tSec float64) predictor.Access {
+	return predictor.Access{Time: trace.FromSeconds(tSec)}
+}
+
+func TestExpAverageLearnsLongIdles(t *testing.T) {
+	e := MustNewExpAverage(DefaultExpAverageConfig())
+	p := e.NewProcess(1)
+	// First decision: untrained → backup.
+	if d := p.OnAccess(access(0)); d.Source != predictor.SourceBackup {
+		t.Fatalf("untrained decision %+v", d)
+	}
+	// A stream of 30 s idle periods drives the forecast above breakeven.
+	now := 0.0
+	var d predictor.Decision
+	for i := 0; i < 5; i++ {
+		now += 30
+		d = p.OnAccess(access(now))
+	}
+	if d.Source != predictor.SourcePrimary || d.Delay != trace.Second {
+		t.Fatalf("long-idle stream not predicted: %+v", d)
+	}
+	// A stream of short periods drags the forecast back down.
+	for i := 0; i < 8; i++ {
+		now += 2
+		d = p.OnAccess(access(now))
+	}
+	if d.Source != predictor.SourceBackup {
+		t.Fatalf("short-idle stream still predicting: %+v", d)
+	}
+}
+
+func TestExpAverageFiltersSubWindowGaps(t *testing.T) {
+	e := MustNewExpAverage(DefaultExpAverageConfig())
+	p := e.NewProcess(1)
+	p.OnAccess(access(0))
+	p.OnAccess(access(30)) // forecast = 30 s → predicting
+	// Sub-wait-window gaps must not dilute the forecast.
+	now := 30.0
+	var d predictor.Decision
+	for i := 0; i < 20; i++ {
+		now += 0.3
+		d = p.OnAccess(access(now))
+	}
+	if d.Source != predictor.SourcePrimary {
+		t.Fatalf("filtered gaps polluted the forecast: %+v", d)
+	}
+}
+
+func TestExpAverageConfigValidation(t *testing.T) {
+	bad := []func(*ExpAverageConfig){
+		func(c *ExpAverageConfig) { c.Alpha = 0 },
+		func(c *ExpAverageConfig) { c.Alpha = 1.5 },
+		func(c *ExpAverageConfig) { c.WaitWindow = 0 },
+		func(c *ExpAverageConfig) { c.BackupTimeout = 0 },
+		func(c *ExpAverageConfig) { c.Breakeven = 0 },
+	}
+	for i, m := range bad {
+		c := DefaultExpAverageConfig()
+		m(&c)
+		if _, err := NewExpAverage(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLShape(t *testing.T) {
+	l := MustNewLShape(DefaultLShapeConfig())
+	p := l.NewProcess(1)
+	// A short burst (two accesses 0.1 s apart): busy < 3 s → predict long.
+	p.OnAccess(access(0))
+	if d := p.OnAccess(access(0.1)); d.Source != predictor.SourcePrimary {
+		t.Fatalf("short busy period not predicted: %+v", d)
+	}
+	// Sustained activity: after 3 s of busy the prediction stops.
+	now := 0.1
+	var d predictor.Decision
+	for now < 4 {
+		now += 0.4
+		d = p.OnAccess(access(now))
+	}
+	if d.Source != predictor.SourceBackup {
+		t.Fatalf("long busy period still predicting: %+v", d)
+	}
+	// An idle period resets the busy clock.
+	now += 20
+	if d := p.OnAccess(access(now)); d.Source != predictor.SourcePrimary {
+		t.Fatalf("busy clock not reset after idle: %+v", d)
+	}
+}
+
+func TestLShapeConfigValidation(t *testing.T) {
+	bad := []func(*LShapeConfig){
+		func(c *LShapeConfig) { c.BusyThreshold = 0 },
+		func(c *LShapeConfig) { c.WaitWindow = 0 },
+		func(c *LShapeConfig) { c.BackupTimeout = 0 },
+	}
+	for i, m := range bad {
+		c := DefaultLShapeConfig()
+		m(&c)
+		if _, err := NewLShape(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAdaptiveTimeoutFeedback(t *testing.T) {
+	cfg := DefaultAdaptiveTimeoutConfig()
+	a := MustNewAdaptiveTimeout(cfg)
+	p := a.NewProcess(1)
+	d := p.OnAccess(access(0))
+	if d.Delay != cfg.Initial || d.Source != predictor.SourcePrimary {
+		t.Fatalf("initial decision %+v", d)
+	}
+	// A premature shutdown (gap just past the timer) grows the timer.
+	d = p.OnAccess(access(11)) // gap 11 s: timer 10 expired, off 1 s < breakeven
+	if d.Delay != 20*trace.Second {
+		t.Fatalf("timer after premature shutdown: %v", d.Delay)
+	}
+	// A clearly correct shutdown shrinks it.
+	d = p.OnAccess(access(11 + 120))
+	if d.Delay != 10*trace.Second {
+		t.Fatalf("timer after correct shutdown: %v", d.Delay)
+	}
+	// Gaps below the timer leave it unchanged.
+	d = p.OnAccess(access(131 + 3))
+	if d.Delay != 10*trace.Second {
+		t.Fatalf("timer after cancelled shutdown: %v", d.Delay)
+	}
+}
+
+func TestAdaptiveTimeoutBounds(t *testing.T) {
+	cfg := DefaultAdaptiveTimeoutConfig()
+	a := MustNewAdaptiveTimeout(cfg)
+	p := a.NewProcess(1)
+	now := 0.0
+	p.OnAccess(access(now))
+	// Repeated correct shutdowns shrink to the floor, never below.
+	var d predictor.Decision
+	for i := 0; i < 10; i++ {
+		now += 500
+		d = p.OnAccess(access(now))
+	}
+	if d.Delay != cfg.Min {
+		t.Fatalf("timer floor: %v, want %v", d.Delay, cfg.Min)
+	}
+	// Repeated premature shutdowns grow to the ceiling, never above.
+	for i := 0; i < 12; i++ {
+		now += d.Delay.Seconds() + 1
+		d = p.OnAccess(access(now))
+	}
+	if d.Delay != cfg.Max {
+		t.Fatalf("timer ceiling: %v, want %v", d.Delay, cfg.Max)
+	}
+}
+
+func TestAdaptiveTimeoutConfigValidation(t *testing.T) {
+	bad := []func(*AdaptiveTimeoutConfig){
+		func(c *AdaptiveTimeoutConfig) { c.Min = 0 },
+		func(c *AdaptiveTimeoutConfig) { c.Max = c.Min - 1 },
+		func(c *AdaptiveTimeoutConfig) { c.Initial = c.Max + trace.Second },
+		func(c *AdaptiveTimeoutConfig) { c.Grow = 1 },
+		func(c *AdaptiveTimeoutConfig) { c.Shrink = 1 },
+		func(c *AdaptiveTimeoutConfig) { c.Breakeven = 0 },
+	}
+	for i, m := range bad {
+		c := DefaultAdaptiveTimeoutConfig()
+		m(&c)
+		if _, err := NewAdaptiveTimeout(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if MustNewExpAverage(DefaultExpAverageConfig()).Name() != "ExpAvg" {
+		t.Error("ExpAvg name")
+	}
+	if MustNewLShape(DefaultLShapeConfig()).Name() != "LShape" {
+		t.Error("LShape name")
+	}
+	if MustNewAdaptiveTimeout(DefaultAdaptiveTimeoutConfig()).Name() != "AdaptTP" {
+		t.Error("AdaptTP name")
+	}
+}

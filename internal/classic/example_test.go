@@ -1,0 +1,58 @@
+package classic_test
+
+import (
+	"fmt"
+
+	"pcapsim/internal/classic"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+// ExampleAdaptiveTimeout shows the feedback timer reacting to outcomes: it
+// doubles after a premature shutdown and halves after a clearly correct
+// one.
+func ExampleAdaptiveTimeout() {
+	at := classic.MustNewAdaptiveTimeout(classic.DefaultAdaptiveTimeoutConfig())
+	proc := at.NewProcess(1)
+
+	d := proc.OnAccess(predictor.Access{Time: 0})
+	fmt.Println("initial timer:", d.Delay.Duration())
+
+	// The next access arrives 11 s later: the 10 s timer had expired but
+	// the disk was off for only 1 s — premature.
+	d = proc.OnAccess(predictor.Access{Time: trace.FromSeconds(11)})
+	fmt.Println("after premature shutdown:", d.Delay.Duration())
+
+	// Then a two-minute idle period — clearly correct.
+	d = proc.OnAccess(predictor.Access{Time: trace.FromSeconds(131)})
+	fmt.Println("after correct shutdown:", d.Delay.Duration())
+
+	// Output:
+	// initial timer: 10s
+	// after premature shutdown: 20s
+	// after correct shutdown: 10s
+}
+
+// ExampleExpAverage shows the forecast following the idle-length stream.
+func ExampleExpAverage() {
+	ea := classic.MustNewExpAverage(classic.DefaultExpAverageConfig())
+	proc := ea.NewProcess(1)
+
+	proc.OnAccess(predictor.Access{Time: 0})
+	// One 40 s idle period: forecast 40 s ≥ breakeven → predict.
+	d := proc.OnAccess(predictor.Access{Time: trace.FromSeconds(40)})
+	fmt.Println("after a long period:", d.Source)
+
+	// Four 2 s periods drag the forecast under breakeven
+	// (40 → 21 → 11.5 → 6.75 → 4.4 with α = 0.5).
+	now := 40.0
+	for i := 0; i < 4; i++ {
+		now += 2
+		d = proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now)})
+	}
+	fmt.Println("after short periods:", d.Source)
+
+	// Output:
+	// after a long period: primary
+	// after short periods: backup
+}

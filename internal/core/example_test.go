@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+// Example replays the paper's Figure 3: the path {PC1, PC2, PC1} trains on
+// its first long idle period and predicts on the second.
+func Example() {
+	pcap := core.MustNew(core.DefaultConfig(core.VariantBase))
+	proc := pcap.NewProcess(1)
+
+	access := func(atSec float64, pc trace.PC) predictor.Decision {
+		return proc.OnAccess(predictor.Access{Time: trace.FromSeconds(atSec), PC: pc, FD: 3})
+	}
+
+	// First occurrence of the path — training.
+	access(0.1, 0x1000)
+	access(0.2, 0x2000)
+	d := access(0.3, 0x1000)
+	fmt.Println("first occurrence:", d.Source)
+
+	// A 20-second idle period passes; the same path recurs.
+	access(20.1, 0x1000)
+	access(20.2, 0x2000)
+	d = access(20.3, 0x1000)
+	fmt.Printf("second occurrence: %s, shutdown in %v\n", d.Source, d.Delay.Duration())
+	fmt.Println("table entries:", pcap.Table().Len())
+
+	// Output:
+	// first occurrence: backup
+	// second occurrence: primary, shutdown in 1s
+	// table entries: 1
+}
+
+// ExampleConfig_variants shows how the history and file-descriptor
+// augmentations change the table key.
+func ExampleConfig_variants() {
+	for _, v := range []core.Variant{core.VariantBase, core.VariantH, core.VariantF, core.VariantFH} {
+		fmt.Printf("%-7s history=%v fd=%v\n", v, v.UsesHistory(), v.UsesFD())
+	}
+	// Output:
+	// PCAP    history=false fd=false
+	// PCAPh   history=true fd=false
+	// PCAPf   history=false fd=true
+	// PCAPfh  history=true fd=true
+}
+
+// ExampleTable_bounded shows LRU replacement under a table bound.
+func ExampleTable_bounded() {
+	tab := core.NewTable(2)
+	tab.Train(core.Key{Sig: 1})
+	tab.Train(core.Key{Sig: 2})
+	tab.Train(core.Key{Sig: 3}) // evicts sig 1
+	fmt.Println("entries:", tab.Len())
+	fmt.Println("sig 1 present:", tab.Lookup(core.Key{Sig: 1}))
+	fmt.Println("sig 3 present:", tab.Lookup(core.Key{Sig: 3}))
+	// Output:
+	// entries: 2
+	// sig 1 present: false
+	// sig 3 present: true
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pcapsim/internal/trace"
+)
+
+// Signature is the 4-byte encoded path of I/O-triggering program
+// counters: the arithmetic sum (mod 2³²) of the PCs in the path. The
+// encoding minimizes storage and makes comparison a single word compare,
+// at the cost of possible (never observed in the paper) aliasing between
+// permutations of the same PCs.
+type Signature uint32
+
+// AddPC returns the signature extended by one program counter.
+func (s Signature) AddPC(pc trace.PC) Signature { return s + Signature(pc) }
+
+// Key is a prediction-table key: the path signature, optionally augmented
+// with the idle-period history vector (PCAPh) and/or the file descriptor
+// of the access preceding the idle period (PCAPf).
+type Key struct {
+	// Sig is the encoded PC path.
+	Sig Signature
+	// Hist is the idle-history bit-vector, valid when HasHist.
+	Hist uint16
+	// HasHist marks history-augmented keys (PCAPh, PCAPfh).
+	HasHist bool
+	// FD is the file descriptor, valid when HasFD.
+	FD trace.FD
+	// HasFD marks fd-augmented keys (PCAPf, PCAPfh).
+	HasFD bool
+}
+
+// String renders the key compactly for debugging and persistence.
+func (k Key) String() string {
+	s := fmt.Sprintf("sig=0x%08x", uint32(k.Sig))
+	if k.HasHist {
+		s += fmt.Sprintf(" hist=0b%016b", k.Hist)
+	}
+	if k.HasFD {
+		s += fmt.Sprintf(" fd=%d", int32(k.FD))
+	}
+	return s
+}
+
+// less orders keys deterministically (for stable snapshots).
+func (k Key) less(o Key) bool {
+	if k.Sig != o.Sig {
+		return k.Sig < o.Sig
+	}
+	if k.Hist != o.Hist {
+		return k.Hist < o.Hist
+	}
+	return k.FD < o.FD
+}
+
+// Stats counts prediction-table activity.
+type Stats struct {
+	// Lookups is the number of probes.
+	Lookups int64
+	// Hits is the number of probes that matched.
+	Hits int64
+	// Inserts is the number of new signatures learned.
+	Inserts int64
+	// Evictions is the number of entries displaced by the LRU bound.
+	Evictions int64
+}
+
+// Table is a prediction table: a set of trained keys with optional LRU
+// bounding. It is safe for concurrent use; the paper shares one table
+// among all processes of an application.
+type Table struct {
+	mu      sync.Mutex
+	bound   int
+	entries map[Key]*list.Element
+	lru     *list.List // of Key; front = most recently used
+	stats   Stats
+}
+
+// NewTable returns an empty table. A positive bound caps the entry count
+// with least-recently-used replacement; zero means unbounded.
+func NewTable(bound int) *Table {
+	if bound < 0 {
+		bound = 0
+	}
+	return &Table{
+		bound:   bound,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of trained entries (the paper's Table 3 metric).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Lookup probes the table and reports whether key is trained, refreshing
+// its LRU position on a match.
+func (t *Table) Lookup(key Key) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Lookups++
+	el, ok := t.entries[key]
+	if ok {
+		t.stats.Hits++
+		t.lru.MoveToFront(el)
+	}
+	return ok
+}
+
+// Train records key in the table (idempotently), evicting the least
+// recently used entry if a bound is configured and exceeded.
+func (t *Table) Train(key Key) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.lru.MoveToFront(el)
+		return
+	}
+	t.entries[key] = t.lru.PushFront(key)
+	t.stats.Inserts++
+	if t.bound > 0 && len(t.entries) > t.bound {
+		oldest := t.lru.Back()
+		t.lru.Remove(oldest)
+		delete(t.entries, oldest.Value.(Key))
+		t.stats.Evictions++
+	}
+}
+
+// Forget removes key from the table, reporting whether it was present.
+// The base paper never unlearns, but changed application behaviour can be
+// aged out this way (or by the LRU bound).
+func (t *Table) Forget(key Key) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.entries[key]
+	if !ok {
+		return false
+	}
+	t.lru.Remove(el)
+	delete(t.entries, key)
+	return true
+}
+
+// Keys returns the trained keys in deterministic (sorted) order.
+func (t *Table) Keys() []Key {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// LoadKeys trains all the given keys, preserving their order as
+// most-recent-last. Used when restoring a persisted table.
+func (t *Table) LoadKeys(keys []Key) {
+	for _, k := range keys {
+		t.Train(k)
+	}
+}
+
+// StorageBytes returns the persisted size of the table under the paper's
+// encoding: each entry packs into one 4-byte word (the signature; history
+// and fd variants fold their context into the stored word the same way
+// the signature itself is an additive fold).
+func (t *Table) StorageBytes() int { return 4 * t.Len() }
+
+// StateSize reports the number of learned entries; it satisfies the
+// simulator's SizedFactory on *PCAP via the method below.
+func (p *PCAP) StateSize() int { return p.table.Len() }

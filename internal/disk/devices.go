@@ -1,0 +1,69 @@
+package disk
+
+import "pcapsim/internal/trace"
+
+// Representative device parameter sets beyond the paper's Fujitsu drive.
+// The paper notes the technique "can be applied to other I/O devices such
+// as wireless network interfaces"; these profiles let the experiments
+// probe how the breakeven time — the knob that changes across device
+// classes — moves the predictor trade-offs. Values are representative of
+// the device classes of the period (laptop disk, desktop disk, WLAN NIC),
+// with breakeven times derived from the other constants via
+// ComputeBreakeven.
+
+// Laptop25Inch returns a representative 2.5-inch mobile drive with a
+// lighter spin-up than the Fujitsu: breakeven ≈ 3.6 s.
+func Laptop25Inch() Params {
+	p := Params{
+		Name:           "generic 2.5\" mobile disk",
+		BusyPower:      2.0,
+		IdlePower:      0.85,
+		StandbyPower:   0.15,
+		SpinUpEnergy:   2.9,
+		ShutdownEnergy: 0.25,
+		SpinUpTime:     trace.FromSeconds(1.2),
+		ShutdownTime:   trace.FromSeconds(0.5),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// Desktop35Inch returns a representative 3.5-inch desktop drive: heavy
+// platters make shutdowns expensive, breakeven ≈ 13 s.
+func Desktop35Inch() Params {
+	p := Params{
+		Name:           "generic 3.5\" desktop disk",
+		BusyPower:      8.0,
+		IdlePower:      5.0,
+		StandbyPower:   1.0,
+		SpinUpEnergy:   55.0,
+		ShutdownEnergy: 4.0,
+		SpinUpTime:     trace.FromSeconds(3.5),
+		ShutdownTime:   trace.FromSeconds(1.0),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// WirelessNIC returns a representative 802.11 interface: "shutdown" is
+// entering power-save polling mode, so the transition is cheap and fast
+// and the breakeven drops under a second.
+func WirelessNIC() Params {
+	p := Params{
+		Name:           "generic 802.11 interface",
+		BusyPower:      1.4,
+		IdlePower:      0.9,
+		StandbyPower:   0.05,
+		SpinUpEnergy:   0.4,
+		ShutdownEnergy: 0.1,
+		SpinUpTime:     trace.FromSeconds(0.1),
+		ShutdownTime:   trace.FromSeconds(0.05),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// Devices returns the evaluated device profiles, the paper's drive first.
+func Devices() []Params {
+	return []Params{FujitsuMHF2043AT(), Laptop25Inch(), Desktop35Inch(), WirelessNIC()}
+}

@@ -1,0 +1,36 @@
+package disk_test
+
+import (
+	"fmt"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/trace"
+)
+
+// Example shows the breakeven arithmetic on the paper's drive: a 4-second
+// idle period loses energy when the disk is shut down, a 60-second one
+// saves it.
+func Example() {
+	d := disk.FujitsuMHF2043AT()
+	fmt.Printf("cycle energy: %.2f J\n", d.CycleEnergy())
+	fmt.Printf("4 s off: %+.2f J\n", d.ShutdownSavings(trace.FromSeconds(4)))
+	fmt.Printf("60 s off: %+.2f J\n", d.ShutdownSavings(trace.FromSeconds(60)))
+	// Output:
+	// cycle energy: 4.76 J
+	// 4 s off: -1.18 J
+	// 60 s off: +44.74 J
+}
+
+// ExampleMachine drives the state machine through a shutdown and wake-up.
+func ExampleMachine() {
+	m, _ := disk.NewMachine(disk.FujitsuMHF2043AT())
+	m.Shutdown(10 * trace.Second)
+	fmt.Println("state:", m.State())
+	done, _ := m.ServeIO(60*trace.Second, 100*trace.Millisecond)
+	fmt.Println("served at:", done.Duration()) // delayed by the 1.6 s spin-up
+	fmt.Println("cycles:", m.Cycles())
+	// Output:
+	// state: shutting-down
+	// served at: 1m1.7s
+	// cycles: 1
+}

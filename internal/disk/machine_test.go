@@ -1,0 +1,223 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pcapsim/internal/trace"
+)
+
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine(FujitsuMHF2043AT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineRejectsBadParams(t *testing.T) {
+	p := FujitsuMHF2043AT()
+	p.BusyPower = -1
+	if _, err := NewMachine(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestMachineIdleEnergy(t *testing.T) {
+	m := newTestMachine(t)
+	m.SetPeriodClass(true)
+	e, err := m.Finish(10 * trace.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * 0.95
+	if math.Abs(e.IdleLong-want) > 1e-9 {
+		t.Errorf("idle energy %g, want %g", e.IdleLong, want)
+	}
+	if e.Busy != 0 || e.PowerCycle != 0 || e.IdleShort != 0 {
+		t.Errorf("unexpected buckets: %+v", e)
+	}
+}
+
+func TestMachineServeIO(t *testing.T) {
+	m := newTestMachine(t)
+	done, err := m.ServeIO(2*trace.Second, 500*trace.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 2*trace.Second+500*trace.Millisecond {
+		t.Errorf("completion at %v", done)
+	}
+	e, err := m.Finish(3 * trace.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBusy := 0.5 * 2.2
+	if math.Abs(e.Busy-wantBusy) > 1e-9 {
+		t.Errorf("busy %g, want %g", e.Busy, wantBusy)
+	}
+	wantIdle := (3 - 0.5) * 0.95
+	if math.Abs(e.IdleShort+e.IdleLong-wantIdle) > 1e-9 {
+		t.Errorf("idle %g, want %g", e.IdleShort+e.IdleLong, wantIdle)
+	}
+}
+
+func TestMachineShutdownCycle(t *testing.T) {
+	p := FujitsuMHF2043AT()
+	m := newTestMachine(t)
+	if err := m.Shutdown(trace.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateShuttingDown {
+		t.Fatalf("state %v after shutdown", m.State())
+	}
+	// An access during standby spins the disk back up: completion is
+	// delayed by the spin-up time.
+	done, err := m.ServeIO(10*trace.Second, 100*trace.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDone := 10*trace.Second + p.SpinUpTime + 100*trace.Millisecond
+	if done != wantDone {
+		t.Errorf("completion %v, want %v", done, wantDone)
+	}
+	if m.Cycles() != 1 {
+		t.Errorf("cycles = %d", m.Cycles())
+	}
+	e := m.Energy()
+	if math.Abs(e.PowerCycle-p.CycleEnergy()) > 1e-9 {
+		t.Errorf("power cycle energy %g, want %g", e.PowerCycle, p.CycleEnergy())
+	}
+}
+
+func TestMachineShutdownWhileBusyIgnored(t *testing.T) {
+	m := newTestMachine(t)
+	// Shut down, then request again mid-transition: the second is a no-op.
+	if err := m.Shutdown(trace.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(trace.Second + 100*trace.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1", m.Cycles())
+	}
+}
+
+func TestMachineAccessDuringShutdownTransition(t *testing.T) {
+	p := FujitsuMHF2043AT()
+	m := newTestMachine(t)
+	if err := m.Shutdown(0); err != nil {
+		t.Fatal(err)
+	}
+	// Arrives halfway through the shutdown transition: the disk must
+	// finish spinning down, then spin up.
+	done, err := m.ServeIO(300*trace.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.ShutdownTime + p.SpinUpTime
+	if done != want {
+		t.Errorf("completion %v, want %v", done, want)
+	}
+}
+
+func TestMachineTimeMonotonicity(t *testing.T) {
+	m := newTestMachine(t)
+	if _, err := m.ServeIO(5*trace.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ServeIO(trace.Second, 0); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+	if _, err := m.ServeIO(6*trace.Second, -trace.Second); err == nil {
+		t.Fatal("negative service accepted")
+	}
+}
+
+// TestMachineMatchesAnalytic drives the machine over a random access/idle
+// schedule and cross-checks total energy against an independently computed
+// analytic sum.
+func TestMachineMatchesAnalytic(t *testing.T) {
+	p := FujitsuMHF2043AT()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := NewMachine(p)
+		now := trace.Time(0)
+		var analytic float64
+		cycles := 0
+		for i := 0; i < 30; i++ {
+			gap := trace.FromSeconds(10 + 40*r.Float64())
+			shutdownAt := trace.Time(-1)
+			if r.Intn(2) == 0 {
+				shutdownAt = now + trace.FromSeconds(1+2*r.Float64())
+			}
+			next := now + gap
+			if shutdownAt >= 0 {
+				if err := m.Shutdown(shutdownAt); err != nil {
+					return false
+				}
+				cycles++
+				analytic += (shutdownAt - now).Seconds() * p.IdlePower
+				analytic += p.CycleEnergy()
+				// Standby power runs from the shutdown command through the
+				// spin-up that the next access triggers.
+				analytic += (next - shutdownAt + p.SpinUpTime).Seconds() * p.StandbyPower
+				// The service completes after spin-up; the machine then
+				// idles until we account the next interval from `done`.
+			} else {
+				analytic += gap.Seconds() * p.IdlePower
+			}
+			done, err := m.ServeIO(next, 0)
+			if err != nil {
+				return false
+			}
+			now = done
+		}
+		e, err := m.Finish(now)
+		if err != nil {
+			return false
+		}
+		if m.Cycles() != cycles {
+			return false
+		}
+		return math.Abs(e.Total()-analytic) < 1e-6*math.Max(1, analytic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineEnergyNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := NewMachine(FujitsuMHF2043AT())
+		now := trace.Time(0)
+		for i := 0; i < 50; i++ {
+			now += trace.Time(r.Int63n(int64(20 * trace.Second)))
+			switch r.Intn(3) {
+			case 0:
+				if err := m.Shutdown(now); err != nil {
+					return false
+				}
+			default:
+				done, err := m.ServeIO(now, trace.Time(r.Int63n(int64(trace.Second))))
+				if err != nil {
+					return false
+				}
+				now = done
+			}
+			e := m.Energy()
+			if e.Busy < 0 || e.IdleShort < 0 || e.IdleLong < 0 || e.PowerCycle < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

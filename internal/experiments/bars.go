@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderBars renders an accuracy figure as horizontal stacked bars in the
+// visual idiom of the paper's Figures 6/7/9/10: per application, one bar
+// per policy composed of hit (█ primary, ▓ backup), not-predicted (░) and
+// misses (× primary, ÷ backup) stacked beyond the 100% mark, with a
+// column marker at 100%.
+func (f *AccuracyFigure) RenderBars() string {
+	const scale = 2.0 // percent per character cell
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", f.Title)
+	fmt.Fprintf(&b, "legend: █ hit(primary)  ▓ hit(backup)  ░ not predicted  × miss(primary)  ÷ miss(backup)  | = 100%%\n\n")
+
+	lastApp := ""
+	for _, c := range f.Cells {
+		if c.App != lastApp {
+			if lastApp != "" {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "%s (%d long idle periods)\n", c.App, c.Counts.LongPeriods)
+			lastApp = c.App
+		}
+		fr := c.Frac
+		cells := func(x float64) int { return int(100*x/scale + 0.5) }
+		var sb strings.Builder
+		sb.WriteString(strings.Repeat("█", cells(fr.HitPrimary)))
+		sb.WriteString(strings.Repeat("▓", cells(fr.HitBackup)))
+		sb.WriteString(strings.Repeat("░", cells(fr.NotPredicted)))
+		// Pad or truncate so the 100% marker aligns.
+		line := sb.String()
+		runes := []rune(line)
+		full := int(100 / scale)
+		if len(runes) > full {
+			runes = runes[:full]
+		}
+		for len(runes) < full {
+			runes = append(runes, ' ')
+		}
+		miss := strings.Repeat("×", cells(fr.MissPrimary)) + strings.Repeat("÷", cells(fr.MissBackup))
+		fmt.Fprintf(&b, "  %-7s %s|%s  hit %5.1f%%  miss %5.1f%%\n",
+			c.Policy, string(runes), miss, 100*fr.Hit, 100*fr.Miss)
+	}
+	return b.String()
+}

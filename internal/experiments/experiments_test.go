@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/sim"
+)
+
+// The experiment suite is exercised end to end on the full workloads;
+// these tests pin the qualitative results the paper reports — the "shape"
+// of each table and figure — rather than exact percentages.
+
+func newSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byApp := map[string]Table1Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.GlobalIdle <= 0 || r.TotalIOs <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.App, r)
+		}
+		if r.LocalIdle < r.GlobalIdle && r.App != "xemacs" && r.App != "nedit" {
+			// Multi-process apps accumulate more local than global
+			// periods (xemacs is borderline single-process; nedit equal).
+			t.Errorf("%s: local %d < global %d", r.App, r.LocalIdle, r.GlobalIdle)
+		}
+	}
+	// Table 1's qualitative orderings.
+	if byApp["nedit"].LocalIdle != byApp["nedit"].GlobalIdle {
+		t.Error("nedit (single process) must have local == global")
+	}
+	if byApp["mplayer"].TotalIOs < byApp["nedit"].TotalIOs*10 {
+		t.Error("mplayer must dwarf nedit in I/O volume")
+	}
+	if byApp["mozilla"].GlobalIdle < byApp["mplayer"].GlobalIdle {
+		t.Error("mozilla must have the most shutdown opportunities")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	s := newSuite(t)
+	if out := s.RenderTable2(); !strings.Contains(out, "5.43") || !strings.Contains(out, "Fujitsu") {
+		t.Errorf("table 2 rendering:\n%s", out)
+	}
+	out, err := s.RenderTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"mozilla", "writer", "impress", "xemacs", "nedit", "mplayer"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("table 1 missing %s", app)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	s := newSuite(t)
+	f, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := f.Average["TP"]
+	lt := f.Average["LT"]
+	pcap := f.Average["PCAP"]
+	// The paper's headline ordering: PCAP > LT > TP in coverage.
+	if !(pcap.Hit > lt.Hit && lt.Hit > tp.Hit) {
+		t.Errorf("hit ordering violated: TP %.2f LT %.2f PCAP %.2f", tp.Hit, lt.Hit, pcap.Hit)
+	}
+	// PCAP mispredicts roughly half as often as LT (paper: 10%% vs 20%%).
+	if pcap.Miss >= lt.Miss {
+		t.Errorf("PCAP miss %.2f not below LT %.2f", pcap.Miss, lt.Miss)
+	}
+	// Everything stays within sane bounds.
+	for name, avg := range f.Average {
+		if avg.Hit < 0 || avg.Hit > 1.001 {
+			t.Errorf("%s hit out of range: %v", name, avg.Hit)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	s := newSuite(t)
+	f, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := f.AverageSavings
+	// Paper ordering: Ideal ≥ PCAP ≥ LT ≥ TP ≥ Base (= 0).
+	if !(av["Ideal"] >= av["PCAP"] && av["PCAP"] >= av["LT"] && av["LT"] >= av["TP"] && av["TP"] > 0) {
+		t.Errorf("savings ordering violated: %v", av)
+	}
+	if av["Base"] != 0 {
+		t.Errorf("base savings %v", av["Base"])
+	}
+	// PCAP lands within a few points of the ideal predictor (paper: 2%).
+	if av["Ideal"]-av["PCAP"] > 0.06 {
+		t.Errorf("PCAP %.3f too far from ideal %.3f", av["PCAP"], av["Ideal"])
+	}
+	// Per-cell sanity: every policy's bar is ≤ ~101% of base.
+	for _, c := range f.Cells {
+		if _, _, _, _, total := c.Normalized(); total > 1.01 {
+			t.Errorf("%s/%s exceeds base energy: %.3f", c.App, c.Policy, total)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	s := newSuite(t)
+	f, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.Average["PCAP"]
+	h := f.Average["PCAPh"]
+	fh := f.Average["PCAPfh"]
+	// History cuts mispredictions (paper: 10% → 5%).
+	if h.Miss >= base.Miss {
+		t.Errorf("history did not reduce misses: %.3f vs %.3f", h.Miss, base.Miss)
+	}
+	if fh.Miss > h.Miss+0.01 {
+		t.Errorf("fh misses %.3f above h %.3f", fh.Miss, h.Miss)
+	}
+	// And costs extra training: more backup involvement.
+	if h.HitBackup <= base.HitBackup {
+		t.Errorf("history did not increase backup share: %.3f vs %.3f", h.HitBackup, base.HitBackup)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	s := newSuite(t)
+	f, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcap := f.Average["PCAP"]
+	pcapa := f.Average["PCAPa"]
+	lt := f.Average["LT"]
+	lta := f.Average["LTa"]
+	// Table reuse multiplies primary coverage (paper: fourfold for PCAP,
+	// double for LT).
+	if pcap.HitPrimary < 3*pcapa.HitPrimary {
+		t.Errorf("PCAP reuse gain too small: %.3f vs %.3f", pcap.HitPrimary, pcapa.HitPrimary)
+	}
+	if lt.HitPrimary < 1.5*lta.HitPrimary {
+		t.Errorf("LT reuse gain too small: %.3f vs %.3f", lt.HitPrimary, lta.HitPrimary)
+	}
+	// Without reuse, the backup predictor carries the load.
+	if pcapa.HitBackup < pcapa.HitPrimary {
+		t.Errorf("PCAPa should lean on its backup: %.3f vs %.3f", pcapa.HitBackup, pcapa.HitPrimary)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Table3Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		// History-augmented tables cannot be smaller than the base.
+		if r.Entries[core.VariantH] < r.Entries[core.VariantBase] {
+			t.Errorf("%s: PCAPh %d < PCAP %d", r.App, r.Entries[core.VariantH], r.Entries[core.VariantBase])
+		}
+		if r.Entries[core.VariantFH] < r.Entries[core.VariantH] {
+			t.Errorf("%s: PCAPfh %d < PCAPh %d", r.App, r.Entries[core.VariantFH], r.Entries[core.VariantH])
+		}
+	}
+	// Paper orderings: mozilla's table is the largest, nedit's tiny.
+	if byApp["mozilla"].Entries[core.VariantBase] <= byApp["xemacs"].Entries[core.VariantBase] {
+		t.Error("mozilla should need the largest table")
+	}
+	if byApp["nedit"].Entries[core.VariantBase] > 10 {
+		t.Errorf("nedit table too large: %d", byApp["nedit"].Entries[core.VariantBase])
+	}
+}
+
+func TestTPSweepShape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.TPSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer timers monotonically reduce miss pressure at the cost of
+	// energy beyond ~10 s (the paper's §6.3 trade-off).
+	var at10, at60 float64
+	for _, r := range rows {
+		switch r.Timeout.Seconds() {
+		case 10:
+			at10 = r.AvgSavings
+		case 60:
+			at60 = r.AvgSavings
+		}
+	}
+	if at60 >= at10 {
+		t.Errorf("60 s timer saves %.3f ≥ 10 s timer %.3f", at60, at10)
+	}
+}
+
+func TestMultiStateGains(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.MultiState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SavedMulti < r.SavedPlain-1e-9 {
+			t.Errorf("%s: extension lost energy: %.4f vs %.4f", r.App, r.SavedMulti, r.SavedPlain)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := newSuite(t)
+	app := s.Apps()[4] // nedit: cheapest
+	a, err := s.Run(app, s.PolicyTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(app, s.PolicyTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoization returned distinct results")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	// A different seed changes the traces but must preserve the headline
+	// ordering — the reproduction is not an artifact of one seed.
+	s, err := NewSuite(99, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, lt, pcap := f.Average["TP"], f.Average["LT"], f.Average["PCAP"]
+	if !(pcap.Hit > lt.Hit && lt.Hit > tp.Hit) {
+		t.Errorf("seed 99: ordering violated: TP %.2f LT %.2f PCAP %.2f", tp.Hit, lt.Hit, pcap.Hit)
+	}
+}
+
+func TestPredictorsShape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.Predictors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]PredictorRow{}
+	for _, r := range rows {
+		by[r.Policy] = r
+	}
+	// The paper's survey conclusion (§2): pre-PCAP dynamic predictors shut
+	// down immediately but with much lower accuracy. Both classic dynamic
+	// predictors must mispredict far more than PCAP.
+	if by["ExpAvg"].Miss < 2*by["PCAP"].Miss {
+		t.Errorf("ExpAvg miss %.3f not well above PCAP %.3f", by["ExpAvg"].Miss, by["PCAP"].Miss)
+	}
+	if by["LShape"].Miss < 2*by["PCAP"].Miss {
+		t.Errorf("LShape miss %.3f not well above PCAP %.3f", by["LShape"].Miss, by["PCAP"].Miss)
+	}
+	// PCAP still saves the most energy of the real predictors.
+	for _, name := range []string{"TP", "AdaptTP", "ExpAvg", "LShape", "LT"} {
+		if by[name].Saved > by["PCAP"].Saved+1e-9 {
+			t.Errorf("%s saves %.4f, above PCAP %.4f", name, by[name].Saved, by["PCAP"].Saved)
+		}
+	}
+	if by["Ideal"].Hit < 0.999 || by["Ideal"].Miss > 1e-9 {
+		t.Errorf("ideal row %+v", by["Ideal"])
+	}
+}
+
+func TestDevicesShape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.DevicesExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d device rows", len(rows))
+	}
+	var wlanOpps, desktopOpps int
+	for _, r := range rows {
+		// Savings order on every device: TP ≤ PCAP ≤ Ideal (small
+		// tolerance for the boundary-sensitive profiles).
+		if r.PCAPSaved < r.TPSaved-0.02 || r.IdealSaved < r.PCAPSaved-1e-9 {
+			t.Errorf("%s: savings ordering violated: TP %.3f PCAP %.3f Ideal %.3f",
+				r.Device, r.TPSaved, r.PCAPSaved, r.IdealSaved)
+		}
+		switch {
+		case r.Breakeven < 1:
+			wlanOpps = r.Long
+		case r.Breakeven > 10:
+			desktopOpps = r.Long
+		}
+	}
+	// Shorter breakeven ⇒ many more shutdown opportunities.
+	if wlanOpps <= desktopOpps {
+		t.Errorf("opportunity counts: wlan %d, desktop %d", wlanOpps, desktopOpps)
+	}
+}
+
+func TestPrefetchShape(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	interleavedWins := 0
+	for _, r := range rows {
+		// Prefetching can only reduce demand misses.
+		if r.Global.MissRate() > r.BaseMiss+1e-9 || r.PC.MissRate() > r.BaseMiss+1e-9 {
+			t.Errorf("%s: prefetching increased misses", r.App)
+		}
+		if r.PC.MissRate() < r.Global.MissRate() {
+			interleavedWins++
+		}
+		// Sequential workloads keep accuracy high for both.
+		if r.PC.Accuracy() < 0.5 {
+			t.Errorf("%s: PC accuracy %.2f", r.App, r.PC.Accuracy())
+		}
+	}
+	// The PC-keyed prefetcher must win on the multi-process, interleaved
+	// applications (the package's reason to exist).
+	if interleavedWins < 3 {
+		t.Errorf("PC readahead won on only %d apps", interleavedWins)
+	}
+}
+
+// TestGoldenTable1 pins Table 1 at the default seed exactly. These are
+// the numbers EXPERIMENTS.md publishes; if a workload change moves them,
+// update both this test and EXPERIMENTS.md deliberately.
+func TestGoldenTable1(t *testing.T) {
+	s := newSuite(t)
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Table1Row{
+		"mozilla": {App: "mozilla", Executions: 49, GlobalIdle: 360, LocalIdle: 739, TotalIOs: 89931},
+		"writer":  {App: "writer", Executions: 33, GlobalIdle: 114, LocalIdle: 244, TotalIOs: 113699},
+		"impress": {App: "impress", Executions: 19, GlobalIdle: 91, LocalIdle: 170, TotalIOs: 162448},
+		"xemacs":  {App: "xemacs", Executions: 37, GlobalIdle: 104, LocalIdle: 102, TotalIOs: 64463},
+		"nedit":   {App: "nedit", Executions: 29, GlobalIdle: 29, LocalIdle: 29, TotalIOs: 5507},
+		"mplayer": {App: "mplayer", Executions: 31, GlobalIdle: 52, LocalIdle: 107, TotalIOs: 501276},
+	}
+	for _, r := range rows {
+		if w := want[r.App]; r != w {
+			t.Errorf("%s: got %+v, want %+v", r.App, r, w)
+		}
+	}
+}
+
+// TestAllRenderers drives every text renderer end to end (the CLI's
+// surface) and checks each produces a non-trivial table.
+func TestAllRenderers(t *testing.T) {
+	s := newSuite(t)
+	renderers := map[string]func() (string, error){
+		"table1":     s.RenderTable1,
+		"table3":     s.RenderTable3,
+		"tpsweep":    s.RenderTPSweep,
+		"multistate": s.RenderMultiState,
+		"predictors": s.RenderPredictors,
+		"devices":    s.RenderDevices,
+		"prefetch":   s.RenderPrefetch,
+	}
+	for name, render := range renderers {
+		out, err := render()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 100 || !strings.Contains(out, "---") {
+			t.Errorf("%s: implausible rendering:\n%s", name, out)
+		}
+	}
+	for name, fig := range map[string]func() (*AccuracyFigure, error){
+		"fig6": s.Fig6, "fig7": s.Fig7, "fig9": s.Fig9, "fig10": s.Fig10,
+	} {
+		f, err := fig()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out := f.Render(); !strings.Contains(out, "average") {
+			t.Errorf("%s: rendering lacks averages", name)
+		}
+	}
+	f8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f8.Render(); !strings.Contains(out, "average savings") {
+		t.Error("fig8 rendering lacks averages")
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	s := newSuite(t)
+	f, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.RenderBars()
+	for _, want := range []string{"legend:", "mozilla", "█", "|", "hit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Every bar line carries the 100% marker exactly once.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "█") || strings.Contains(line, "░") {
+			if strings.Count(line, "|") != 1 {
+				t.Errorf("bar line without single marker: %q", line)
+			}
+		}
+	}
+}

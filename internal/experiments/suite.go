@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): it wires the synthetic workloads, the file
+// cache, the disk model, the predictors and the simulator together, one
+// driver per experiment, and renders results in the paper's units.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/persist"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// DefaultSeed is the workload seed used by the CLI and the benchmarks.
+// All numbers in EXPERIMENTS.md are produced with this seed.
+const DefaultSeed uint64 = 20040214 // HPCA-10 opened February 14, 2004
+
+// Suite generates workloads once and runs policies over them, memoizing
+// per-(app, policy) results so that figures sharing runs (6/7, 8, 9, 10)
+// do not recompute them.
+type Suite struct {
+	seed   uint64
+	cfg    sim.Config
+	runner *sim.Runner
+
+	mu      sync.Mutex
+	traces  map[string][]*trace.Trace
+	results map[string]*sim.AppResult
+}
+
+// NewSuite returns a Suite over the given workload seed and simulator
+// configuration.
+func NewSuite(seed uint64, cfg sim.Config) (*Suite, error) {
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		seed:    seed,
+		cfg:     cfg,
+		runner:  r,
+		traces:  make(map[string][]*trace.Trace),
+		results: make(map[string]*sim.AppResult),
+	}, nil
+}
+
+// NewDefaultSuite returns a Suite with the paper's configuration and the
+// default seed.
+func NewDefaultSuite() *Suite {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulator configuration.
+func (s *Suite) Config() sim.Config { return s.cfg }
+
+// Seed returns the workload seed.
+func (s *Suite) Seed() uint64 { return s.seed }
+
+// Apps returns the paper's six applications.
+func (s *Suite) Apps() []*workload.App { return workload.Apps() }
+
+// Traces returns (and caches) all execution traces of app.
+func (s *Suite) Traces(app *workload.App) []*trace.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.traces[app.Name]; ok {
+		return ts
+	}
+	ts := app.Traces(s.seed)
+	s.traces[app.Name] = ts
+	return ts
+}
+
+// Run simulates app under pol, memoized by (app, policy name).
+func (s *Suite) Run(app *workload.App, pol sim.Policy) (*sim.AppResult, error) {
+	key := app.Name + "/" + pol.Name
+	s.mu.Lock()
+	if res, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+	res, err := s.runner.RunApp(s.Traces(app), pol)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", app.Name, pol.Name, err)
+	}
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// --- Standard policies -----------------------------------------------
+
+// PolicyBase never shuts the disk down (Figure 8's "Base").
+func (s *Suite) PolicyBase() sim.Policy {
+	return sim.Policy{
+		Name:       "Base",
+		NewFactory: func() predictor.Factory { return predictor.AlwaysOn{} },
+	}
+}
+
+// PolicyIdeal shuts down exactly at the start of every long global idle
+// period (Figure 8's "Ideal").
+func (s *Suite) PolicyIdeal() sim.Policy {
+	breakeven := s.cfg.Disk.Breakeven
+	return sim.Policy{
+		Name:         "Ideal",
+		NewFactory:   func() predictor.Factory { return predictor.NewOracle(breakeven) },
+		GlobalOracle: true,
+	}
+}
+
+// PolicyTP is the paper's 10-second timeout predictor.
+func (s *Suite) PolicyTP() sim.Policy { return s.PolicyTPWith("TP", 10*trace.Second) }
+
+// PolicyTPWith is a timeout predictor with an explicit timer.
+func (s *Suite) PolicyTPWith(name string, timeout trace.Time) sim.Policy {
+	return sim.Policy{
+		Name:       name,
+		NewFactory: func() predictor.Factory { return predictor.NewTimeout(timeout) },
+	}
+}
+
+// PolicyLT is the Learning Tree with tree reuse across executions; the
+// reuse path round-trips the tree through its persistence format.
+func (s *Suite) PolicyLT() sim.Policy {
+	return sim.Policy{
+		Name:       "LT",
+		NewFactory: func() predictor.Factory { return ltree.MustNew(s.ltConfig()) },
+		Reuse:      true,
+		RoundTrip: func(f predictor.Factory) (predictor.Factory, error) {
+			old := f.(*ltree.LT)
+			var buf bytes.Buffer
+			if err := persist.SaveTree(&buf, "", old); err != nil {
+				return nil, err
+			}
+			fresh := ltree.MustNew(s.ltConfig())
+			if err := persist.LoadTree(&buf, "", fresh); err != nil {
+				return nil, err
+			}
+			return fresh, nil
+		},
+	}
+}
+
+// PolicyLTa is the Learning Tree discarding its tree after every
+// execution (Figure 10's LTa).
+func (s *Suite) PolicyLTa() sim.Policy {
+	return sim.Policy{
+		Name:       "LTa",
+		NewFactory: func() predictor.Factory { return ltree.MustNew(s.ltConfig()) },
+	}
+}
+
+func (s *Suite) ltConfig() ltree.Config {
+	cfg := ltree.DefaultConfig()
+	cfg.Breakeven = s.cfg.Disk.Breakeven
+	cfg.WaitWindow = s.waitWindow()
+	return cfg
+}
+
+// waitWindow returns the paper's 1 s sliding wait-window, scaled down for
+// devices whose breakeven time is itself below a second (e.g. a wireless
+// interface): the window must leave room for the shutdown to pay off.
+func (s *Suite) waitWindow() trace.Time {
+	w := trace.Second
+	if half := s.cfg.Disk.Breakeven / 2; half < w {
+		w = half
+	}
+	return w
+}
+
+// PolicyPCAP is a PCAP variant with prediction-table reuse; the reuse
+// path round-trips the table through the initialization-file format.
+func (s *Suite) PolicyPCAP(v core.Variant) sim.Policy {
+	return sim.Policy{
+		Name:       v.String(),
+		NewFactory: func() predictor.Factory { return core.MustNew(s.pcapConfig(v)) },
+		Reuse:      true,
+		RoundTrip: func(f predictor.Factory) (predictor.Factory, error) {
+			old := f.(*core.PCAP)
+			var buf bytes.Buffer
+			if err := persist.SaveTable(&buf, "", old); err != nil {
+				return nil, err
+			}
+			fresh := core.MustNew(s.pcapConfig(v))
+			if err := persist.LoadTable(&buf, "", fresh); err != nil {
+				return nil, err
+			}
+			return fresh, nil
+		},
+	}
+}
+
+// PolicyPCAPa is base PCAP discarding its table after every execution
+// (Figure 10's PCAPa).
+func (s *Suite) PolicyPCAPa() sim.Policy {
+	return sim.Policy{
+		Name:       "PCAPa",
+		NewFactory: func() predictor.Factory { return core.MustNew(s.pcapConfig(core.VariantBase)) },
+	}
+}
+
+func (s *Suite) pcapConfig(v core.Variant) core.Config {
+	cfg := core.DefaultConfig(v)
+	cfg.Breakeven = s.cfg.Disk.Breakeven
+	cfg.WaitWindow = s.waitWindow()
+	return cfg
+}

@@ -1,0 +1,33 @@
+package ltree_test
+
+import (
+	"fmt"
+
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+// Example trains the Learning Tree on the paper's Figure 2 pattern — two
+// short idle periods followed by a long one — until it predicts the long
+// period from the idle-length history alone.
+func Example() {
+	lt := ltree.MustNew(ltree.DefaultConfig())
+	proc := lt.NewProcess(1)
+
+	now := 0.0
+	var last predictor.Decision
+	for cycle := 0; cycle < 5; cycle++ {
+		proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now)})
+		now += 2 // short
+		proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now)})
+		now += 2 // short
+		last = proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now)})
+		now += 30 // long
+	}
+	fmt.Printf("after training: %s, shutdown in %v\n", last.Source, last.Delay.Duration())
+	fmt.Println("tree nodes:", lt.Tree().Nodes())
+	// Output:
+	// after training: primary, shutdown in 1s
+	// tree nodes: 23
+}

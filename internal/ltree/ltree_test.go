@@ -1,0 +1,198 @@
+package ltree
+
+import (
+	"testing"
+
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+func access(tSec float64) predictor.Access {
+	return predictor.Access{Time: trace.FromSeconds(tSec)}
+}
+
+func newLT(t *testing.T) *LT {
+	t.Helper()
+	l, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.HistoryLen = 0 },
+		func(c *Config) { c.HistoryLen = 33 },
+		func(c *Config) { c.WaitWindow = 0 },
+		func(c *Config) { c.BackupTimeout = -1 },
+		func(c *Config) { c.Breakeven = 0 },
+		func(c *Config) { c.WaitWindow = c.Breakeven + 1 },
+		func(c *Config) { c.ConfidenceMax = 0 },
+		func(c *Config) { c.ConfidenceThreshold = 0 },
+		func(c *Config) { c.ConfidenceThreshold = c.ConfidenceMax + 1 },
+	}
+	for i, m := range bad {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestLearnsRepetitivePattern replays the paper's Figure 2 behaviour: two
+// short idle periods followed by a long one, repeating. After training,
+// LT must predict the long period at the end of each group.
+func TestLearnsRepetitivePattern(t *testing.T) {
+	l := newLT(t)
+	p := l.NewProcess(1)
+	now := 0.0
+	var atLongPosition []predictor.Decision
+	for cycle := 0; cycle < 6; cycle++ {
+		p.OnAccess(access(now))
+		now += 2 // short
+		p.OnAccess(access(now))
+		now += 2 // short
+		d := p.OnAccess(access(now))
+		atLongPosition = append(atLongPosition, d)
+		now += 30 // long
+	}
+	// Early cycles train; late cycles must predict with the wait-window.
+	last := atLongPosition[len(atLongPosition)-1]
+	if last.Source != predictor.SourcePrimary || last.Delay != trace.Second {
+		t.Fatalf("pattern not learned: %+v", last)
+	}
+	// And the mid-group positions must not predict long.
+	p2 := l.NewProcess(2)
+	p2.OnAccess(access(1000))
+	p2.OnAccess(access(1002))
+	d := p2.OnAccess(access(1032)) // history: short, long — next is short
+	_ = d
+	dMid := p2.OnAccess(access(1034)) // history: long, short... position before 2nd short
+	if dMid.Source == predictor.SourcePrimary {
+		t.Fatalf("mid-group position predicted long: %+v", dMid)
+	}
+}
+
+func TestUntrainedFallsToBackup(t *testing.T) {
+	l := newLT(t)
+	p := l.NewProcess(1)
+	d := p.OnAccess(access(0))
+	if d.Source != predictor.SourceBackup || d.Delay != l.Config().BackupTimeout {
+		t.Fatalf("first decision %+v, want backup", d)
+	}
+}
+
+func TestSubWaitWindowGapsFiltered(t *testing.T) {
+	l := newLT(t)
+	p := l.NewProcess(1)
+	p.OnAccess(access(0))
+	p.OnAccess(access(0.5)) // filtered: no history, no training
+	if l.Tree().Nodes() != 0 {
+		t.Fatalf("filtered gap trained the tree: %d nodes", l.Tree().Nodes())
+	}
+}
+
+func TestBackupNeverSuppressed(t *testing.T) {
+	// Even when the tree confidently predicts a short period, the backup
+	// timeout remains the floor: the decision still schedules a shutdown
+	// at the timer.
+	l := newLT(t)
+	p := l.NewProcess(1)
+	now := 0.0
+	var d predictor.Decision
+	for i := 0; i < 10; i++ {
+		d = p.OnAccess(access(now))
+		now += 2 // all short periods: tree learns "short follows short"
+	}
+	if !d.Shutdown || d.Source != predictor.SourceBackup || d.Delay != l.Config().BackupTimeout {
+		t.Fatalf("confident-short decision %+v, want backup floor", d)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	l := newLT(t)
+	p := l.NewProcess(1)
+	now := 0.0
+	for cycle := 0; cycle < 5; cycle++ {
+		p.OnAccess(access(now))
+		now += 2
+		p.OnAccess(access(now))
+		now += 30
+	}
+	snap := l.Tree().Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot after training")
+	}
+	fresh := newLT(t)
+	fresh.Tree().Restore(snap)
+	if fresh.Tree().Nodes() != l.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", fresh.Tree().Nodes(), l.Tree().Nodes())
+	}
+	snap2 := fresh.Tree().Snapshot()
+	if len(snap2) != len(snap) {
+		t.Fatalf("second snapshot has %d nodes, want %d", len(snap2), len(snap))
+	}
+	for i := range snap {
+		if snap[i] != snap2[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, snap[i], snap2[i])
+		}
+	}
+	// The restored tree behaves like the original.
+	pOld := l.NewProcess(2)
+	pNew := fresh.NewProcess(2)
+	now2 := 5000.0
+	for i := 0; i < 4; i++ {
+		dOld := pOld.OnAccess(access(now2))
+		dNew := pNew.OnAccess(access(now2))
+		if dOld != dNew {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, dOld, dNew)
+		}
+		now2 += 2
+	}
+}
+
+func TestReliableBackoff(t *testing.T) {
+	// A deep once-visited node must not override a reliable shallow node.
+	tree := NewTree()
+	cfg := DefaultConfig()
+	// Train depth-1 node [0] as long, repeatedly.
+	for i := 0; i < 4; i++ {
+		tree.train(0b0, 1, true, &cfg)
+	}
+	// Train an 8-deep path once, with a short outcome.
+	tree.train(0b0, 8, false, &cfg)
+	counter, ok := tree.predict(0b0, 8)
+	if !ok {
+		t.Fatal("prediction unavailable")
+	}
+	if counter < cfg.ConfidenceThreshold {
+		t.Fatalf("deep weak node overrode reliable shallow node: counter %d", counter)
+	}
+}
+
+func TestStateSizeAndName(t *testing.T) {
+	l := newLT(t)
+	if l.Name() != "LT" {
+		t.Errorf("name %q", l.Name())
+	}
+	if l.StateSize() != 0 {
+		t.Error("fresh tree has nodes")
+	}
+	p := l.NewProcess(1)
+	p.OnAccess(access(0))
+	// The first period carries no history context, so it trains nothing;
+	// the second period trains under the history of the first.
+	p.OnAccess(access(10))
+	if l.StateSize() != 0 {
+		t.Error("first period trained despite empty history")
+	}
+	p.OnAccess(access(12))
+	if l.StateSize() == 0 {
+		t.Error("training created no nodes")
+	}
+}

@@ -1,0 +1,42 @@
+package ltree
+
+// NodeState records one trained tree node for persistence. History holds
+// the idle-class path from the root (bit 0 = most recent class) and Depth
+// how many of its bits are meaningful.
+type NodeState struct {
+	History uint32 `json:"history"`
+	Depth   int    `json:"depth"`
+	Counter int    `json:"counter"`
+	Visits  int    `json:"visits"`
+}
+
+// Snapshot returns every trained node in deterministic depth-first order,
+// suitable for persisting an application's tree across executions.
+func (t *Tree) Snapshot() []NodeState {
+	var out []NodeState
+	t.snapshotWalk(func(history uint32, depth, counter, visits int) {
+		out = append(out, NodeState{History: history, Depth: depth, Counter: counter, Visits: visits})
+	})
+	return out
+}
+
+// Restore loads a snapshot into the tree, merging with any existing
+// state: restored counters and visits overwrite node values, and missing
+// interior nodes are created.
+func (t *Tree) Restore(nodes []NodeState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ns := range nodes {
+		n := t.root
+		for d := 0; d < ns.Depth; d++ {
+			bit := ns.History >> uint(d) & 1
+			if n.children[bit] == nil {
+				n.children[bit] = &node{}
+				t.nodes++
+			}
+			n = n.children[bit]
+		}
+		n.counter = ns.Counter
+		n.visits = ns.Visits
+	}
+}

@@ -1,0 +1,189 @@
+// Package persist stores trained predictor state across application
+// executions, implementing the paper's prediction-table reuse (Section
+// 4.2): when the application exits, its trained prediction table is saved
+// in the application initialization file; when the application starts
+// again, the table is loaded back, eliminating most retraining.
+//
+// The format is versioned JSON. PCAP tables and Learning Tree state share
+// one envelope so an application's initialization file can carry either.
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/trace"
+)
+
+// formatVersion is the on-disk schema version.
+const formatVersion = 1
+
+// ErrMismatch is returned when loading state saved for a different
+// predictor configuration.
+var ErrMismatch = errors.New("persist: saved state does not match predictor configuration")
+
+// tableEntry is one persisted PCAP prediction-table key.
+type tableEntry struct {
+	Sig  uint32 `json:"sig"`
+	Hist uint16 `json:"hist,omitempty"`
+	FD   int32  `json:"fd,omitempty"`
+}
+
+// envelope is the on-disk document.
+type envelope struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	App     string `json:"app"`
+
+	// PCAP tables.
+	Variant    string       `json:"variant,omitempty"`
+	HistoryLen int          `json:"historyLen,omitempty"`
+	Entries    []tableEntry `json:"entries,omitempty"`
+
+	// Learning Tree state.
+	HistoryDepth int               `json:"historyDepth,omitempty"`
+	Nodes        []ltree.NodeState `json:"nodes,omitempty"`
+}
+
+// SaveTable writes the PCAP prediction table of p for application app.
+func SaveTable(w io.Writer, app string, p *core.PCAP) error {
+	keys := p.Table().Keys()
+	env := envelope{
+		Format:     "pcap-table",
+		Version:    formatVersion,
+		App:        app,
+		Variant:    p.Config().Variant.String(),
+		HistoryLen: p.Config().HistoryLen,
+		Entries:    make([]tableEntry, len(keys)),
+	}
+	for i, k := range keys {
+		env.Entries[i] = tableEntry{Sig: uint32(k.Sig), Hist: k.Hist, FD: int32(k.FD)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// LoadTable reads a PCAP prediction table previously written by SaveTable
+// into p. The saved variant and history length must match p's
+// configuration, and a non-empty app must match the saved one.
+func LoadTable(r io.Reader, app string, p *core.PCAP) error {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("persist: decoding table: %w", err)
+	}
+	if env.Format != "pcap-table" {
+		return fmt.Errorf("%w: format %q", ErrMismatch, env.Format)
+	}
+	if env.Version != formatVersion {
+		return fmt.Errorf("%w: version %d", ErrMismatch, env.Version)
+	}
+	if app != "" && env.App != app {
+		return fmt.Errorf("%w: saved for app %q, loading for %q", ErrMismatch, env.App, app)
+	}
+	cfg := p.Config()
+	if env.Variant != cfg.Variant.String() {
+		return fmt.Errorf("%w: saved variant %q, predictor is %q", ErrMismatch, env.Variant, cfg.Variant)
+	}
+	if cfg.Variant.UsesHistory() && env.HistoryLen != cfg.HistoryLen {
+		return fmt.Errorf("%w: saved history length %d, predictor uses %d", ErrMismatch, env.HistoryLen, cfg.HistoryLen)
+	}
+	keys := make([]core.Key, len(env.Entries))
+	for i, e := range env.Entries {
+		keys[i] = core.Key{
+			Sig:     core.Signature(e.Sig),
+			Hist:    e.Hist,
+			HasHist: cfg.Variant.UsesHistory(),
+			FD:      trace.FD(e.FD),
+			HasFD:   cfg.Variant.UsesFD(),
+		}
+	}
+	p.Table().LoadKeys(keys)
+	return nil
+}
+
+// SaveTree writes the Learning Tree state of l for application app.
+func SaveTree(w io.Writer, app string, l *ltree.LT) error {
+	env := envelope{
+		Format:       "ltree",
+		Version:      formatVersion,
+		App:          app,
+		HistoryDepth: l.Config().HistoryLen,
+		Nodes:        l.Tree().Snapshot(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// LoadTree reads Learning Tree state previously written by SaveTree into
+// l. A non-empty app must match the saved one.
+func LoadTree(r io.Reader, app string, l *ltree.LT) error {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("persist: decoding tree: %w", err)
+	}
+	if env.Format != "ltree" {
+		return fmt.Errorf("%w: format %q", ErrMismatch, env.Format)
+	}
+	if env.Version != formatVersion {
+		return fmt.Errorf("%w: version %d", ErrMismatch, env.Version)
+	}
+	if app != "" && env.App != app {
+		return fmt.Errorf("%w: saved for app %q, loading for %q", ErrMismatch, env.App, app)
+	}
+	if env.HistoryDepth != l.Config().HistoryLen {
+		return fmt.Errorf("%w: saved history depth %d, predictor uses %d", ErrMismatch, env.HistoryDepth, l.Config().HistoryLen)
+	}
+	l.Tree().Restore(env.Nodes)
+	return nil
+}
+
+// TablePath returns the conventional initialization-file path for an
+// application's table under dir: <dir>/<app>.<variant>.json.
+func TablePath(dir, app string, v core.Variant) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%s.json", app, v))
+}
+
+// SaveTableFile writes p's table to the conventional path under dir,
+// creating dir if needed.
+func SaveTableFile(dir, app string, p *core.PCAP) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := TablePath(dir, app, p.Config().Variant)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := SaveTable(f, app, p); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// LoadTableFile loads a table from the conventional path under dir. A
+// missing file is not an error: it reports found=false, modelling the
+// first-ever run of an application.
+func LoadTableFile(dir, app string, p *core.PCAP) (found bool, err error) {
+	path := TablePath(dir, app, p.Config().Variant)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := LoadTable(f, app, p); err != nil {
+		return false, err
+	}
+	return true, nil
+}

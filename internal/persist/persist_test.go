@@ -1,0 +1,178 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/ltree"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+func trainedPCAP(t *testing.T, v core.Variant) *core.PCAP {
+	t.Helper()
+	p, err := core.New(core.DefaultConfig(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := p.NewProcess(1)
+	now := 0.0
+	for i := 0; i < 5; i++ {
+		proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now), PC: trace.PC(0x100 * (i + 1)), FD: trace.FD(i)})
+		now += 30
+	}
+	if p.Table().Len() == 0 {
+		t.Fatal("training produced no entries")
+	}
+	return p
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	for _, v := range []core.Variant{core.VariantBase, core.VariantH, core.VariantF, core.VariantFH} {
+		p := trainedPCAP(t, v)
+		var buf bytes.Buffer
+		if err := SaveTable(&buf, "demo", p); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		fresh, _ := core.New(core.DefaultConfig(v))
+		if err := LoadTable(&buf, "demo", fresh); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		want := p.Table().Keys()
+		got := fresh.Table().Keys()
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d keys, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: key %d: %v != %v", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTableMismatches(t *testing.T) {
+	p := trainedPCAP(t, core.VariantH)
+	var buf bytes.Buffer
+	if err := SaveTable(&buf, "demo", p); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Wrong variant.
+	other, _ := core.New(core.DefaultConfig(core.VariantBase))
+	if err := LoadTable(bytes.NewReader(saved), "demo", other); !errors.Is(err, ErrMismatch) {
+		t.Errorf("variant mismatch: %v", err)
+	}
+	// Wrong app.
+	same, _ := core.New(core.DefaultConfig(core.VariantH))
+	if err := LoadTable(bytes.NewReader(saved), "elsewhere", same); !errors.Is(err, ErrMismatch) {
+		t.Errorf("app mismatch: %v", err)
+	}
+	// Empty app skips the check.
+	if err := LoadTable(bytes.NewReader(saved), "", same); err != nil {
+		t.Errorf("empty app rejected: %v", err)
+	}
+	// Wrong history length.
+	cfg := core.DefaultConfig(core.VariantH)
+	cfg.HistoryLen = 4
+	short, _ := core.New(cfg)
+	if err := LoadTable(bytes.NewReader(saved), "demo", short); !errors.Is(err, ErrMismatch) {
+		t.Errorf("history mismatch: %v", err)
+	}
+	// Not a table document at all.
+	lt, _ := ltree.New(ltree.DefaultConfig())
+	var tbuf bytes.Buffer
+	if err := SaveTree(&tbuf, "demo", lt); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := core.New(core.DefaultConfig(core.VariantH))
+	if err := LoadTable(&tbuf, "demo", fresh); !errors.Is(err, ErrMismatch) {
+		t.Errorf("tree-as-table: %v", err)
+	}
+	// Garbage input.
+	if err := LoadTable(strings.NewReader("{"), "demo", fresh); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	l, _ := ltree.New(ltree.DefaultConfig())
+	proc := l.NewProcess(1)
+	now := 0.0
+	for i := 0; i < 8; i++ {
+		proc.OnAccess(predictor.Access{Time: trace.FromSeconds(now)})
+		if i%2 == 0 {
+			now += 2
+		} else {
+			now += 40
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveTree(&buf, "demo", l); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := ltree.New(ltree.DefaultConfig())
+	if err := LoadTree(&buf, "demo", fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Tree().Nodes() != l.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", fresh.Tree().Nodes(), l.Tree().Nodes())
+	}
+}
+
+func TestTreeMismatches(t *testing.T) {
+	l, _ := ltree.New(ltree.DefaultConfig())
+	var buf bytes.Buffer
+	if err := SaveTree(&buf, "demo", l); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+	cfg := ltree.DefaultConfig()
+	cfg.HistoryLen = 4
+	other, _ := ltree.New(cfg)
+	if err := LoadTree(bytes.NewReader(saved), "demo", other); !errors.Is(err, ErrMismatch) {
+		t.Errorf("depth mismatch: %v", err)
+	}
+	same, _ := ltree.New(ltree.DefaultConfig())
+	if err := LoadTree(bytes.NewReader(saved), "other", same); !errors.Is(err, ErrMismatch) {
+		t.Errorf("app mismatch: %v", err)
+	}
+}
+
+func TestTableFileHelpers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "init-files")
+	p := trainedPCAP(t, core.VariantBase)
+
+	// Loading before any save reports not-found without error: the
+	// application's first-ever run.
+	fresh, _ := core.New(core.DefaultConfig(core.VariantBase))
+	found, err := LoadTableFile(dir, "demo", fresh)
+	if err != nil || found {
+		t.Fatalf("first run: found=%v err=%v", found, err)
+	}
+
+	path, err := SaveTableFile(dir, "demo", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "demo.PCAP.json" {
+		t.Errorf("path %q", path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	found, err = LoadTableFile(dir, "demo", fresh)
+	if err != nil || !found {
+		t.Fatalf("reload: found=%v err=%v", found, err)
+	}
+	if fresh.Table().Len() != p.Table().Len() {
+		t.Errorf("reloaded %d entries, want %d", fresh.Table().Len(), p.Table().Len())
+	}
+}

@@ -1,0 +1,94 @@
+package predictor
+
+import (
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+func TestTimeout(t *testing.T) {
+	tp := NewTimeout(10 * trace.Second)
+	if tp.Name() != "TP" {
+		t.Errorf("name %q", tp.Name())
+	}
+	if tp.Timeout() != 10*trace.Second {
+		t.Errorf("timeout %v", tp.Timeout())
+	}
+	p := tp.NewProcess(1)
+	for i := 0; i < 3; i++ {
+		d := p.OnAccess(Access{Time: trace.Time(i) * trace.Second})
+		if !d.Shutdown || d.Delay != 10*trace.Second || d.Source != SourcePrimary {
+			t.Fatalf("decision %+v", d)
+		}
+	}
+}
+
+func TestTimeoutPanicsOnBadTimer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTimeout(0)
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle(trace.FromSeconds(5.43))
+	if o.Name() != "Ideal" {
+		t.Errorf("name %q", o.Name())
+	}
+	p := o.NewProcess(1)
+	fa, ok := p.(FutureAware)
+	if !ok {
+		t.Fatal("oracle process is not FutureAware")
+	}
+	// Long upcoming gap: immediate shutdown.
+	fa.SetNextGap(10*trace.Second, true)
+	if d := p.OnAccess(Access{}); !d.Shutdown || d.Delay != 0 || d.Source != SourcePrimary {
+		t.Fatalf("long gap decision %+v", d)
+	}
+	// Short gap: no shutdown.
+	fa.SetNextGap(2*trace.Second, true)
+	if d := p.OnAccess(Access{}); d.Shutdown {
+		t.Fatalf("short gap decision %+v", d)
+	}
+	// Unknown future: no shutdown.
+	fa.SetNextGap(0, false)
+	if d := p.OnAccess(Access{}); d.Shutdown {
+		t.Fatalf("unknown gap decision %+v", d)
+	}
+	// Exactly breakeven counts as long.
+	fa.SetNextGap(trace.FromSeconds(5.43), true)
+	if d := p.OnAccess(Access{}); !d.Shutdown {
+		t.Fatal("breakeven-length gap not predicted")
+	}
+}
+
+func TestOraclePanicsOnBadBreakeven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewOracle(-1)
+}
+
+func TestAlwaysOn(t *testing.T) {
+	var a AlwaysOn
+	if a.Name() != "Base" {
+		t.Errorf("name %q", a.Name())
+	}
+	p := a.NewProcess(1)
+	if d := p.OnAccess(Access{}); d.Shutdown {
+		t.Fatalf("AlwaysOn shut down: %+v", d)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceNone.String() != "none" || SourcePrimary.String() != "primary" || SourceBackup.String() != "backup" {
+		t.Error("source names")
+	}
+	if Source(9).String() != "source(9)" {
+		t.Error("unknown source formatting")
+	}
+}

@@ -1,0 +1,136 @@
+package prefetch
+
+import (
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+// seqTrace builds a trace of per-PC sequential streams, optionally
+// interleaved access by access.
+func seqTrace(interleaved bool, perStream int) *trace.Trace {
+	tr := &trace.Trace{App: "seq"}
+	var now trace.Time
+	add := func(pc trace.PC, block int64) {
+		now += 1000
+		tr.Events = append(tr.Events, trace.Event{
+			Time: now, Pid: 1, Kind: trace.KindIO, Access: trace.AccessRead,
+			PC: pc, FD: 3, Block: block, Size: 4096,
+		})
+	}
+	if interleaved {
+		for i := 0; i < perStream; i++ {
+			add(0x100, int64(i))
+			add(0x200, int64(100000+i))
+		}
+	} else {
+		for i := 0; i < perStream; i++ {
+			add(0x100, int64(i))
+		}
+		for i := 0; i < perStream; i++ {
+			add(0x200, int64(100000+i))
+		}
+	}
+	return tr
+}
+
+func TestNoPrefetchBaseline(t *testing.T) {
+	res, err := Evaluate([]*trace.Trace{seqTrace(false, 50)}, 64, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DemandReads != 100 || res.DemandMisses != 100 {
+		t.Fatalf("baseline %+v", res)
+	}
+	if res.Prefetched != 0 || res.Coverage() != 0 {
+		t.Fatalf("None prefetched: %+v", res)
+	}
+}
+
+func TestGlobalReadaheadOnCleanStream(t *testing.T) {
+	res, err := Evaluate([]*trace.Trace{seqTrace(false, 50)}, 64, NewGlobalReadahead(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two un-interleaved sequential streams: readahead must eliminate most
+	// misses once warmed up.
+	if res.MissRate() > 0.2 {
+		t.Fatalf("clean stream miss rate %.2f: %+v", res.MissRate(), res)
+	}
+	if res.Accuracy() < 0.8 {
+		t.Fatalf("clean stream accuracy %.2f", res.Accuracy())
+	}
+}
+
+// TestPCBeatsGlobalOnInterleavedStreams is the package's reason to exist:
+// interleaving two sequential streams destroys the PC-blind readahead's
+// score but leaves the per-PC contexts untouched.
+func TestPCBeatsGlobalOnInterleavedStreams(t *testing.T) {
+	traces := []*trace.Trace{seqTrace(true, 200)}
+	global, err := Evaluate(traces, 128, NewGlobalReadahead(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Evaluate(traces, 128, NewPCReadahead(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.MissRate() > 0.2 {
+		t.Fatalf("pc readahead missed %.2f on interleaved streams", pc.MissRate())
+	}
+	if global.MissRate() < 0.9 {
+		t.Fatalf("global readahead unexpectedly survived interleaving: %.2f", global.MissRate())
+	}
+	if pc.Coverage() <= global.Coverage() {
+		t.Fatalf("pc coverage %.2f not above global %.2f", pc.Coverage(), global.Coverage())
+	}
+}
+
+func TestPCReadaheadRandomSiteStaysQuiet(t *testing.T) {
+	// A site issuing random blocks must never become confident.
+	tr := &trace.Trace{App: "rand"}
+	var now trace.Time
+	blocks := []int64{900, 17, 4242, 33, 991, 5, 777, 102, 64, 8000}
+	for _, b := range blocks {
+		now += 1000
+		tr.Events = append(tr.Events, trace.Event{
+			Time: now, Pid: 1, Kind: trace.KindIO, Access: trace.AccessRead,
+			PC: 0x300, FD: 3, Block: b, Size: 4096,
+		})
+	}
+	res, err := Evaluate([]*trace.Trace{tr}, 64, NewPCReadahead(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetched != 0 {
+		t.Fatalf("random site prefetched %d blocks", res.Prefetched)
+	}
+}
+
+func TestPCReadaheadSiteCap(t *testing.T) {
+	p := NewPCReadahead(4)
+	p.MaxSites = 2
+	p.OnRead(1, 10)
+	p.OnRead(2, 20)
+	p.OnRead(3, 30) // beyond the cap: ignored, no panic, no growth
+	if len(p.sites) != 2 {
+		t.Fatalf("site map grew past cap: %d", len(p.sites))
+	}
+}
+
+func TestEvaluateRejectsBadCapacity(t *testing.T) {
+	if _, err := Evaluate(nil, 0, None{}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestResultRatios(t *testing.T) {
+	r := Result{DemandReads: 100, DemandMisses: 25, PrefetchHits: 50, Prefetched: 80, Wasted: 30}
+	if r.MissRate() != 0.25 || r.Coverage() != 0.5 || r.Accuracy() != 0.625 {
+		t.Fatalf("ratios: %.2f %.2f %.2f", r.MissRate(), r.Coverage(), r.Accuracy())
+	}
+	var zero Result
+	if zero.MissRate() != 0 || zero.Coverage() != 0 || zero.Accuracy() != 0 {
+		t.Fatal("zero-value ratios must be zero")
+	}
+}

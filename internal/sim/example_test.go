@@ -1,0 +1,73 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+)
+
+// Example simulates a hand-made two-period trace under the timeout
+// predictor: one 30-second idle period (hit, off-time 20 s) and one
+// 12-second period (miss, off-time 2 s).
+func Example() {
+	tr := &trace.Trace{App: "demo"}
+	for i, sec := range []float64{0, 30, 42} {
+		tr.Events = append(tr.Events, trace.Event{
+			Time: trace.FromSeconds(sec), Pid: 1, Kind: trace.KindIO,
+			Access: trace.AccessRead, PC: 0x1000, FD: 3,
+			Block: int64(i * 100), Size: 4096,
+		})
+	}
+	tr.Events = append(tr.Events, trace.Event{
+		Time: trace.FromSeconds(42.1), Pid: 1, Kind: trace.KindExit,
+	})
+
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	res, _ := runner.RunApp([]*trace.Trace{tr}, sim.Policy{
+		Name:       "TP",
+		NewFactory: func() predictor.Factory { return predictor.NewTimeout(10 * trace.Second) },
+	})
+	g := res.Global
+	fmt.Printf("long periods: %d, hits: %d, misses: %d\n", g.LongPeriods, g.Hits(), g.Misses())
+	fmt.Printf("shutdowns: %d, spin-up waits: %d\n", res.Cycles, res.Wakeups)
+	// Output:
+	// long periods: 2, hits: 1, misses: 1
+	// shutdowns: 2, spin-up waits: 2
+}
+
+// ExamplePolicy_reuse contrasts prediction-table reuse with per-execution
+// discard on a repetitive workload: two executions of the same session.
+func ExamplePolicy_reuse() {
+	session := func(exec int) *trace.Trace {
+		tr := &trace.Trace{App: "editor", Execution: exec}
+		for i, sec := range []float64{0, 0.2, 40, 40.1} {
+			tr.Events = append(tr.Events, trace.Event{
+				Time: trace.FromSeconds(sec), Pid: 1, Kind: trace.KindIO,
+				Access: trace.AccessRead, PC: trace.PC(0x100 * (i%2 + 1)), FD: 3,
+				Block: int64(exec*1000 + i*10), Size: 4096,
+			})
+		}
+		tr.Events = append(tr.Events, trace.Event{
+			Time: trace.FromSeconds(40.2), Pid: 1, Kind: trace.KindExit,
+		})
+		return tr
+	}
+	traces := []*trace.Trace{session(0), session(1)}
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+
+	for _, reuse := range []bool{false, true} {
+		res, _ := runner.RunApp(traces, sim.Policy{
+			Name:       "PCAP",
+			NewFactory: func() predictor.Factory { return core.MustNew(core.DefaultConfig(core.VariantBase)) },
+			Reuse:      reuse,
+		})
+		fmt.Printf("reuse=%-5v primary hits: %d, backup hits: %d\n",
+			reuse, res.Global.HitPrimary, res.Global.HitBackup)
+	}
+	// Output:
+	// reuse=false primary hits: 0, backup hits: 2
+	// reuse=true  primary hits: 1, backup hits: 1
+}

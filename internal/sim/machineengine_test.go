@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// TestEnginesAgree cross-validates the analytic per-period energy
+// accounting against the explicit disk state machine on real workloads
+// under several policies. The engines differ only by bounded per-cycle
+// modelling choices (see machineengine.go), so totals must agree within
+// EngineDivergenceBound.
+func TestEnginesAgree(t *testing.T) {
+	r := mustRunner(t)
+	app, _ := workload.ByName("xemacs")
+	traces := app.Traces(31)[:10]
+	for _, pol := range []Policy{
+		basePolicy(),
+		tpPolicy(10 * trace.Second),
+		idealPolicy(r.Config().Disk.Breakeven),
+	} {
+		analytic, err := r.RunApp(traces, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine, err := r.MachineEnergy(traces, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := EngineDivergenceBound(r.Config().Disk, analytic.Cycles)
+		diff := math.Abs(machine.Total() - analytic.Energy.Total())
+		if diff > bound {
+			t.Errorf("%s: engines diverge by %.3f J over %d cycles (bound %.3f);"+
+				" analytic %.1f machine %.1f",
+				pol.Name, diff, analytic.Cycles, bound,
+				analytic.Energy.Total(), machine.Total())
+		}
+		// With no shutdowns the two engines must agree almost exactly.
+		if pol.Name == "Base" && diff > 1e-6 {
+			t.Errorf("base case diverges by %.9f J", diff)
+		}
+	}
+}
+
+func TestEngineDivergenceBound(t *testing.T) {
+	p := mustRunner(t).Config().Disk
+	if EngineDivergenceBound(p, 0) > 1e-5 {
+		t.Error("zero cycles should have (near) zero bound")
+	}
+	if EngineDivergenceBound(p, 10) <= EngineDivergenceBound(p, 1) {
+		t.Error("bound must grow with cycles")
+	}
+}

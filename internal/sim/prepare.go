@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"pcapsim/internal/fscache"
+	"pcapsim/internal/trace"
+)
+
+// procInfo tracks one process's lifetime and access stream within an
+// execution.
+type procInfo struct {
+	pid   trace.PID
+	start trace.Time
+	// exit is the exit time; hasExit reports whether the process exited
+	// within the trace.
+	exit    trace.Time
+	hasExit bool
+	// accesses are indices into execution.accesses belonging to this pid.
+	accesses []int
+}
+
+// liveAt reports whether the process exists (has started, has not exited)
+// at time t.
+func (p *procInfo) liveAt(t trace.Time) bool {
+	return p.start <= t && (!p.hasExit || p.exit > t)
+}
+
+// execution is one application execution prepared for simulation: the
+// trace filtered through the file cache into disk accesses, partitioned by
+// process.
+type execution struct {
+	app string
+	// index is the execution's position within the workload.
+	index int
+	// accesses is the merged disk-access stream in time order.
+	accesses []trace.Event
+	// nextLocal[i] is the index (into accesses) of the next access by the
+	// same process after accesses[i], or -1.
+	nextLocal []int
+	// procs maps pid to lifetime and access info.
+	procs map[trace.PID]*procInfo
+	// exits lists processes' exit events sorted by time.
+	exits []trace.Event
+	// totalIOs is the pre-cache I/O event count.
+	totalIOs int
+	// cacheStats is the file cache activity for this execution.
+	cacheStats fscache.Stats
+	// end is the time of the last trace event.
+	end trace.Time
+}
+
+// prepare filters one execution trace through a fresh file cache and
+// indexes the resulting disk accesses for the runner.
+func prepare(tr *trace.Trace, cacheCfg fscache.Config) (*execution, error) {
+	cache, err := fscache.New(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := cache.Filter(tr.Events)
+	if err != nil {
+		return nil, fmt.Errorf("sim: filtering %s/%d: %w", tr.App, tr.Execution, err)
+	}
+	ex := &execution{
+		app:        tr.App,
+		index:      tr.Execution,
+		procs:      make(map[trace.PID]*procInfo),
+		cacheStats: cache.Stats(),
+		end:        tr.Duration(),
+	}
+	for _, e := range tr.Events {
+		if e.IsIO() {
+			ex.totalIOs++
+		}
+	}
+	proc := func(pid trace.PID, t trace.Time) *procInfo {
+		p, ok := ex.procs[pid]
+		if !ok {
+			// First sighting without a fork: a root process, alive from
+			// the start of the execution.
+			p = &procInfo{pid: pid}
+			ex.procs[pid] = p
+			_ = t
+		}
+		return p
+	}
+	for _, e := range filtered {
+		switch e.Kind {
+		case trace.KindFork:
+			proc(e.Pid, e.Time)
+			child, ok := ex.procs[e.Child]
+			if !ok {
+				child = &procInfo{pid: e.Child}
+				ex.procs[e.Child] = child
+			}
+			child.start = e.Time
+		case trace.KindExit:
+			p := proc(e.Pid, e.Time)
+			p.exit = e.Time
+			p.hasExit = true
+			ex.exits = append(ex.exits, e)
+		case trace.KindIO:
+			p := proc(e.Pid, e.Time)
+			idx := len(ex.accesses)
+			ex.accesses = append(ex.accesses, e)
+			p.accesses = append(p.accesses, idx)
+		}
+	}
+	// Index each access's successor within its own process.
+	ex.nextLocal = make([]int, len(ex.accesses))
+	for i := range ex.nextLocal {
+		ex.nextLocal[i] = -1
+	}
+	for _, p := range ex.procs {
+		for j := 0; j+1 < len(p.accesses); j++ {
+			ex.nextLocal[p.accesses[j]] = p.accesses[j+1]
+		}
+	}
+	return ex, nil
+}

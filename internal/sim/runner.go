@@ -1,0 +1,486 @@
+// Package sim is the trace-driven multiprocess simulator: it replays
+// application traces through the file cache, drives per-process shutdown
+// predictors, combines their decisions with the global shutdown predictor
+// of the paper's Figure 5, classifies every idle period, and integrates
+// disk energy.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/fscache"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/trace"
+)
+
+// infTime marks "no shutdown scheduled".
+const infTime = trace.Time(math.MaxInt64)
+
+// Config parameterizes the simulator.
+type Config struct {
+	// Disk is the drive power model.
+	Disk disk.Params
+	// Cache is the file cache configuration.
+	Cache fscache.Config
+	// ServiceBase is the fixed per-access disk service time.
+	ServiceBase trace.Time
+	// ServiceBandwidth is the transfer rate in bytes per second used for
+	// the size-dependent part of the service time.
+	ServiceBandwidth float64
+	// LowPowerWaitWindow enables the paper's future-work extension: when
+	// a primary prediction is pending, the disk drops into the drive's
+	// intermediate low-power idle state (Disk.LowPowerIdlePower) for the
+	// wait-window instead of idling at full power. It requires a drive
+	// with a low-power idle state.
+	LowPowerWaitWindow bool
+}
+
+// DefaultConfig returns the paper's setup: the Fujitsu MHF 2043AT drive,
+// the 256 KB / 30 s file cache, and a 2 ms + 20 MB/s disk service model.
+func DefaultConfig() Config {
+	return Config{
+		Disk:             disk.FujitsuMHF2043AT(),
+		Cache:            fscache.DefaultConfig(),
+		ServiceBase:      2 * trace.Millisecond,
+		ServiceBandwidth: 20e6,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.ServiceBase < 0 {
+		return fmt.Errorf("sim: service base must be non-negative, got %v", c.ServiceBase)
+	}
+	if c.ServiceBandwidth <= 0 {
+		return fmt.Errorf("sim: service bandwidth must be positive, got %g", c.ServiceBandwidth)
+	}
+	if c.LowPowerWaitWindow && c.Disk.LowPowerIdlePower <= 0 {
+		return fmt.Errorf("sim: LowPowerWaitWindow requires a drive with a low-power idle state")
+	}
+	return nil
+}
+
+// AppResult aggregates one policy's run over all executions of one
+// application.
+type AppResult struct {
+	// App and Policy identify the run.
+	App    string
+	Policy string
+	// Executions is the number of executions simulated.
+	Executions int
+	// TotalIOs is the pre-cache I/O event count (Table 1's "Total I/Os").
+	TotalIOs int
+	// DiskAccesses is the post-cache disk access count.
+	DiskAccesses int
+	// Local accumulates per-process idle-period outcomes (Figure 6).
+	Local Counts
+	// Global accumulates merged-stream outcomes under the global
+	// shutdown predictor (Figure 7).
+	Global Counts
+	// Energy is the disk energy under this policy's global decisions
+	// (Figure 8).
+	Energy disk.EnergyBreakdown
+	// Cycles is the number of shutdowns actually performed.
+	Cycles int
+	// Wakeups counts accesses that found the disk spun down and had to
+	// wait for a spin-up; WaitTime is the total user-visible latency so
+	// incurred (the paper's "irritate the user who has to wait for the
+	// disk to spin up").
+	Wakeups  int
+	WaitTime trace.Time
+	// SimTime is the total simulated time across executions.
+	SimTime trace.Time
+	// StateEntries is the predictor's learned-state size after the final
+	// execution (Table 3), or -1 if the policy has no learned state.
+	StateEntries int
+	// Cache aggregates file cache activity.
+	Cache fscache.Stats
+}
+
+// PeriodRecord describes one evaluated global idle period; see
+// Runner.PeriodHook.
+type PeriodRecord struct {
+	// Execution is the execution index within the run.
+	Execution int
+	// Start and End delimit the period (arrival to arrival).
+	Start, End trace.Time
+	// LastPid / LastPC identify the access leading into the period.
+	LastPid trace.PID
+	LastPC  trace.PC
+	// Shutdown reports whether a shutdown occurred, at time At, decided
+	// by a process whose decision came from Source.
+	Shutdown bool
+	At       trace.Time
+	Source   predictor.Source
+	// DeciderPid is the process whose decision set the shutdown time.
+	DeciderPid trace.PID
+}
+
+// Runner executes policies over application traces.
+type Runner struct {
+	cfg Config
+	// PeriodHook, if non-nil, receives a record for every evaluated
+	// global idle period — a debugging and testing aid.
+	PeriodHook func(PeriodRecord)
+}
+
+// NewRunner returns a Runner, validating the configuration.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// MustNewRunner is NewRunner, panicking on configuration errors.
+func MustNewRunner(cfg Config) *Runner {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// serviceTime models the disk time to serve one access.
+func (r *Runner) serviceTime(e trace.Event) trace.Time {
+	transfer := trace.FromSeconds(float64(e.Size) / r.cfg.ServiceBandwidth)
+	return r.cfg.ServiceBase + transfer
+}
+
+// RunApp simulates every execution trace of one application under the
+// given policy and returns the aggregated result.
+func (r *Runner) RunApp(traces []*trace.Trace, pol Policy) (*AppResult, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("sim: no traces")
+	}
+	res := &AppResult{
+		App:          traces[0].App,
+		Policy:       pol.Name,
+		Executions:   len(traces),
+		StateEntries: -1,
+	}
+	newFactory := pol.NewFactory
+	if newFactory == nil {
+		// GlobalOracle without an explicit factory: use the local oracle
+		// so per-process (local) statistics stay meaningful.
+		breakeven := r.cfg.Disk.Breakeven
+		newFactory = func() predictor.Factory { return predictor.NewOracle(breakeven) }
+	}
+	var f predictor.Factory
+	for i, tr := range traces {
+		switch {
+		case f == nil || !pol.Reuse:
+			f = newFactory()
+		case i > 0 && pol.RoundTrip != nil:
+			nf, err := pol.RoundTrip(f)
+			if err != nil {
+				return nil, fmt.Errorf("sim: round-tripping %s after execution %d: %w", pol.Name, i-1, err)
+			}
+			f = nf
+		}
+		ex, err := prepare(tr, r.cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.runExecution(ex, f, pol, res); err != nil {
+			return nil, fmt.Errorf("sim: %s execution %d: %w", tr.App, tr.Execution, err)
+		}
+	}
+	if sf, ok := f.(SizedFactory); ok {
+		res.StateEntries = sf.StateSize()
+	}
+	return res, nil
+}
+
+// decisionState is a process's standing decision: the absolute time at
+// which it is ready for the disk to shut down (infTime = blocks shutdown).
+type decisionState struct {
+	ready  trace.Time
+	source predictor.Source
+}
+
+// runExecution replays one prepared execution under factory f.
+func (r *Runner) runExecution(ex *execution, f predictor.Factory, pol Policy, res *AppResult) error {
+	d := &r.cfg.Disk
+	res.TotalIOs += ex.totalIOs
+	res.DiskAccesses += len(ex.accesses)
+	res.SimTime += ex.end
+	res.Cache.Reads += ex.cacheStats.Reads
+	res.Cache.Writes += ex.cacheStats.Writes
+	res.Cache.ReadHits += ex.cacheStats.ReadHits
+	res.Cache.DiskReads += ex.cacheStats.DiskReads
+	res.Cache.FlushWrites += ex.cacheStats.FlushWrites
+	res.Cache.EvictionWrites += ex.cacheStats.EvictionWrites
+
+	if len(ex.accesses) == 0 {
+		// A silent execution: the disk just idles.
+		r.accountIdle(res, 0, ex.end)
+		return nil
+	}
+
+	// Busy-time model: accesses queue FIFO; service i starts at
+	// max(arrival, previous completion).
+	serviceEnd := make([]trace.Time, len(ex.accesses))
+	var prevEnd trace.Time
+	for i, a := range ex.accesses {
+		start := a.Time
+		if prevEnd > start {
+			start = prevEnd
+		}
+		prevEnd = start + r.serviceTime(a)
+		serviceEnd[i] = prevEnd
+		res.Energy.Busy += r.serviceTime(a).Seconds() * d.BusyPower
+	}
+
+	// Leading idle before the first access: the disk spins unmanaged.
+	r.accountIdle(res, 0, ex.accesses[0].Time)
+
+	preds := make(map[trace.PID]predictor.Process)
+	dec := make(map[trace.PID]decisionState)
+	var decided []trace.PID // sorted pids with decisions, for determinism
+
+	for i, a := range ex.accesses {
+		pred, ok := preds[a.Pid]
+		if !ok {
+			pred = f.NewProcess(a.Pid)
+			preds[a.Pid] = pred
+		}
+		nextLocal := ex.nextLocal[i]
+		if fa, isFA := pred.(predictor.FutureAware); isFA {
+			if nextLocal >= 0 {
+				fa.SetNextGap(ex.accesses[nextLocal].Time-a.Time, true)
+			} else {
+				fa.SetNextGap(0, false)
+			}
+		}
+		decision := pred.OnAccess(predictor.Access{
+			Time:   a.Time,
+			PC:     a.PC,
+			FD:     a.FD,
+			Access: a.Access,
+			Block:  a.Block,
+		})
+
+		// Local (per-process) classification of the period that follows.
+		// The kernel flush daemon is not one of the application's
+		// processes, so it stays out of the per-process statistics (it
+		// still feeds the global combiner below).
+		if nextLocal >= 0 && a.Pid != fscache.KernelFlushPID {
+			gap := ex.accesses[nextLocal].Time - a.Time
+			classify(&res.Local, gap, decision, d.Breakeven)
+		}
+
+		// Update the standing decision for the global combiner.
+		st := decisionState{ready: infTime, source: decision.Source}
+		if decision.Shutdown {
+			st.ready = a.Time + decision.Delay
+		}
+		if _, had := dec[a.Pid]; !had {
+			decided = append(decided, a.Pid)
+			sort.Slice(decided, func(x, y int) bool { return decided[x] < decided[y] })
+		}
+		dec[a.Pid] = st
+
+		// Global period from this access to the next one in the merged
+		// stream (or the tail of the execution).
+		T0 := a.Time
+		T1 := ex.end
+		terminal := i+1 >= len(ex.accesses)
+		if !terminal {
+			T1 = ex.accesses[i+1].Time
+		}
+		if T1 < T0 {
+			T1 = T0
+		}
+		gap := T1 - T0
+		long := gap >= d.Breakeven
+
+		var s trace.Time
+		var src predictor.Source
+		var found bool
+		var decider trace.PID
+		if pol.GlobalOracle {
+			if long {
+				s, src, found = T0, predictor.SourcePrimary, true
+				decider = a.Pid
+			}
+		} else {
+			s, src, found, decider = r.combine(ex, dec, decided, T0, T1)
+		}
+		if r.PeriodHook != nil && !terminal {
+			r.PeriodHook(PeriodRecord{
+				Execution: ex.index,
+				Start:     T0, End: T1,
+				LastPid: a.Pid, LastPC: a.PC,
+				Shutdown: found, At: s, Source: src, DeciderPid: decider,
+			})
+		}
+
+		if !terminal {
+			globalDecision := predictor.Decision{Shutdown: found, Delay: s - T0, Source: src}
+			classify(&res.Global, gap, globalDecision, d.Breakeven)
+		}
+		r.accountPeriod(res, serviceEnd[i], T1, s, found, long, src)
+	}
+	return nil
+}
+
+// combine implements the Global Shutdown Predictor: the disk shuts down at
+// the earliest instant in [T0, T1) at which every live process that has
+// performed I/O is ready. Processes exiting during the window stop
+// constraining it from their exit on. The returned source belongs to the
+// process that made the last (latest-ready) decision.
+func (r *Runner) combine(ex *execution, dec map[trace.PID]decisionState, decided []trace.PID, T0, T1 trace.Time) (trace.Time, predictor.Source, bool, trace.PID) {
+	// Exit events strictly inside the window split it into segments with
+	// a fixed constraint set each.
+	eidx := sort.Search(len(ex.exits), func(i int) bool { return ex.exits[i].Time > T0 })
+	segStart := T0
+	for {
+		segEnd := T1
+		if eidx < len(ex.exits) && ex.exits[eidx].Time < T1 {
+			segEnd = ex.exits[eidx].Time
+		}
+		ready := trace.Time(math.MinInt64)
+		src := predictor.SourceBackup
+		var decider trace.PID
+		blocked := false
+		any := false
+		for _, pid := range decided {
+			pi := ex.procs[pid]
+			if pi.hasExit && pi.exit <= segStart {
+				continue
+			}
+			any = true
+			st := dec[pid]
+			if st.ready == infTime {
+				blocked = true
+				continue
+			}
+			if st.ready >= ready {
+				ready = st.ready
+				src = st.source
+				decider = pid
+			}
+		}
+		if !any {
+			// Every process that ever accessed the disk has exited: shut
+			// down as soon as the segment starts.
+			return segStart, predictor.SourceBackup, true, 0
+		}
+		if !blocked && ready < segEnd {
+			s := ready
+			if s < segStart {
+				s = segStart
+			}
+			return s, src, true, decider
+		}
+		if segEnd == T1 {
+			return 0, predictor.SourceNone, false, 0
+		}
+		segStart = segEnd
+		eidx++
+	}
+}
+
+// classify scores one idle period of length gap under a decision, per the
+// taxonomy in DESIGN.md.
+func classify(c *Counts, gap trace.Time, d predictor.Decision, breakeven trace.Time) {
+	long := gap >= breakeven
+	if long {
+		c.LongPeriods++
+	} else {
+		c.ShortPeriods++
+	}
+	if !d.Shutdown || d.Delay >= gap {
+		// No shutdown happens (a timer or wait-window outlasting the
+		// period is cancelled by the next access).
+		if long {
+			c.NotPredicted++
+		}
+		return
+	}
+	off := gap - d.Delay
+	primary := d.Source != predictor.SourceBackup
+	if off >= breakeven {
+		if primary {
+			c.HitPrimary++
+		} else {
+			c.HitBackup++
+		}
+	} else {
+		if primary {
+			c.MissPrimary++
+		} else {
+			c.MissBackup++
+		}
+	}
+}
+
+// accountIdle charges unmanaged spinning idle time for [from, to).
+func (r *Runner) accountIdle(res *AppResult, from, to trace.Time) {
+	if to <= from {
+		return
+	}
+	gap := to - from
+	j := gap.Seconds() * r.cfg.Disk.IdlePower
+	if gap >= r.cfg.Disk.Breakeven {
+		res.Energy.IdleLong += j
+	} else {
+		res.Energy.IdleShort += j
+	}
+}
+
+// accountPeriod charges the non-busy energy of one global period: the disk
+// idles from svcEnd until the shutdown point s (if found), then stands by
+// until T1; the fixed power-cycle energy is charged per shutdown.
+func (r *Runner) accountPeriod(res *AppResult, svcEnd, T1, s trace.Time, shutdown, long bool, src predictor.Source) {
+	d := &r.cfg.Disk
+	idleStart := svcEnd
+	if idleStart > T1 {
+		return // queued service spills past the next arrival: no idle at all
+	}
+	bucket := &res.Energy.IdleShort
+	if long {
+		bucket = &res.Energy.IdleLong
+	}
+	// With the multi-state extension, a pending primary prediction parks
+	// the disk in the low-power idle state for its wait-window.
+	preShutdownPower := d.IdlePower
+	if r.cfg.LowPowerWaitWindow && src == predictor.SourcePrimary && d.LowPowerIdlePower > 0 {
+		preShutdownPower = d.LowPowerIdlePower
+	}
+	if !shutdown || s >= T1 {
+		*bucket += (T1 - idleStart).Seconds() * d.IdlePower
+		return
+	}
+	if s < idleStart {
+		s = idleStart
+	}
+	*bucket += (s-idleStart).Seconds()*preShutdownPower + (T1-s).Seconds()*d.StandbyPower
+	res.Energy.PowerCycle += d.CycleEnergy()
+	res.Cycles++
+	// The access ending this period finds the disk off: it waits for the
+	// spin-up, plus the tail of the shutdown transition if it arrived
+	// mid-transition.
+	res.Wakeups++
+	wait := d.SpinUpTime
+	if pending := s + d.ShutdownTime - T1; pending > 0 {
+		wait += pending
+	}
+	res.WaitTime += wait
+}

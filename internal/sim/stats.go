@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// Counts accumulates shutdown-prediction outcomes over idle periods.
+//
+// Classification follows the paper's accounting: fractions are normalized
+// to the number of *long* idle periods (those at least breakeven long —
+// the shutdown opportunities of Table 1). A long period yields exactly one
+// of Hit (shutdown whose device-off time reached breakeven), Miss
+// (energy-negative shutdown) or NotPredicted; shutdowns issued inside
+// short periods add further Misses on top, which is why the paper's bars
+// can exceed 100%.
+type Counts struct {
+	// LongPeriods is the number of idle periods ≥ breakeven.
+	LongPeriods int
+	// ShortPeriods is the number of idle periods < breakeven (informational).
+	ShortPeriods int
+	// HitPrimary / HitBackup split correct shutdowns by deciding mechanism.
+	HitPrimary int
+	HitBackup  int
+	// MissPrimary / MissBackup split mispredicted (energy-negative)
+	// shutdowns by deciding mechanism.
+	MissPrimary int
+	MissBackup  int
+	// NotPredicted is long periods with no shutdown at all.
+	NotPredicted int
+}
+
+// Hits returns all correct shutdowns.
+func (c Counts) Hits() int { return c.HitPrimary + c.HitBackup }
+
+// Misses returns all mispredicted shutdowns.
+func (c Counts) Misses() int { return c.MissPrimary + c.MissBackup }
+
+// Shutdowns returns the total number of issued shutdowns.
+func (c Counts) Shutdowns() int { return c.Hits() + c.Misses() }
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.LongPeriods += o.LongPeriods
+	c.ShortPeriods += o.ShortPeriods
+	c.HitPrimary += o.HitPrimary
+	c.HitBackup += o.HitBackup
+	c.MissPrimary += o.MissPrimary
+	c.MissBackup += o.MissBackup
+	c.NotPredicted += o.NotPredicted
+}
+
+// Fractions is Counts normalized to the number of long idle periods,
+// matching the y-axes of the paper's Figures 6, 7, 9 and 10.
+type Fractions struct {
+	Hit          float64
+	HitPrimary   float64
+	HitBackup    float64
+	Miss         float64
+	MissPrimary  float64
+	MissBackup   float64
+	NotPredicted float64
+}
+
+// Fractions normalizes the counts. With zero long periods all fractions
+// are zero.
+func (c Counts) Fractions() Fractions {
+	if c.LongPeriods == 0 {
+		return Fractions{}
+	}
+	n := float64(c.LongPeriods)
+	return Fractions{
+		Hit:          float64(c.Hits()) / n,
+		HitPrimary:   float64(c.HitPrimary) / n,
+		HitBackup:    float64(c.HitBackup) / n,
+		Miss:         float64(c.Misses()) / n,
+		MissPrimary:  float64(c.MissPrimary) / n,
+		MissBackup:   float64(c.MissBackup) / n,
+		NotPredicted: float64(c.NotPredicted) / n,
+	}
+}
+
+// String renders the headline fractions compactly.
+func (f Fractions) String() string {
+	return fmt.Sprintf("hit=%.1f%% miss=%.1f%% notpred=%.1f%%",
+		100*f.Hit, 100*f.Miss, 100*f.NotPredicted)
+}

@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format
+//
+//	magic  "PCTR" (4 bytes)
+//	version uint16 (little endian) = 1
+//	app     uvarint length + bytes
+//	exec    uvarint
+//	count   uvarint (number of events)
+//	events  delta-encoded records:
+//	    dt     uvarint (time delta in µs from previous event)
+//	    pid    uvarint
+//	    kind   byte
+//	    KindIO:   access byte, pc uvarint, fd varint, block varint, size varint
+//	    KindFork: child uvarint
+//	    KindExit: (nothing)
+//
+// Delta timing plus varints keeps multi-hundred-thousand-event traces
+// compact without pulling in any non-stdlib dependency.
+
+const (
+	binaryMagic   = "PCTR"
+	binaryVersion = 1
+)
+
+// ErrBadFormat is returned when decoding input that is not a valid binary
+// trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// WriteBinary encodes the trace to w in the binary trace format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var v2 [2]byte
+	binary.LittleEndian.PutUint16(v2[:], binaryVersion)
+	if _, err := bw.Write(v2[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(t.App)))
+	bw.WriteString(t.App)
+	writeUvarint(bw, uint64(t.Execution))
+	writeUvarint(bw, uint64(len(t.Events)))
+	var prev Time
+	for i, e := range t.Events {
+		if e.Time < prev {
+			return fmt.Errorf("trace: event %d out of order; call SortStable before encoding", i)
+		}
+		writeUvarint(bw, uint64(e.Time-prev))
+		prev = e.Time
+		writeUvarint(bw, uint64(e.Pid))
+		bw.WriteByte(byte(e.Kind))
+		switch e.Kind {
+		case KindIO:
+			bw.WriteByte(byte(e.Access))
+			writeUvarint(bw, uint64(e.PC))
+			writeVarint(bw, int64(e.FD))
+			writeVarint(bw, e.Block)
+			writeVarint(bw, int64(e.Size))
+		case KindFork:
+			writeUvarint(bw, uint64(e.Child))
+		case KindExit:
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace previously encoded with WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	var v2 [2]byte
+	if _, err := io.ReadFull(br, v2[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint16(v2[:]); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: app name too long (%d)", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	exec, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	t := &Trace{App: string(name), Execution: int(exec)}
+	if count < 1<<20 {
+		t.Events = make([]Event, 0, count)
+	}
+	var prev Time
+	for i := uint64(0); i < count; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+		}
+		pid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+		}
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+		}
+		e := Event{Time: prev + Time(dt), Pid: PID(pid), Kind: Kind(kindByte)}
+		prev = e.Time
+		switch e.Kind {
+		case KindIO:
+			accessByte, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.Access = Access(accessByte)
+			pc, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.PC = PC(pc)
+			fd, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.FD = FD(fd)
+			block, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.Block = block
+			size, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.Size = int32(size)
+		case KindFork:
+			child, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+			}
+			e.Child = PID(child)
+		case KindExit:
+		default:
+			return nil, fmt.Errorf("%w: event %d has unknown kind %d", ErrBadFormat, i, kindByte)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// WriteText encodes the trace in a line-oriented, human-readable format:
+//
+//	# pcap-trace v1
+//	# app <name> exec <n>
+//	<time-µs> io <pid> <access> pc=0x<hex> fd=<n> block=<n> size=<n>
+//	<time-µs> fork <pid> child=<pid>
+//	<time-µs> exit <pid>
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# pcap-trace v1\n# app %s exec %d\n", t.App, t.Execution)
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a trace in the text format written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			// "# app <name> exec <n>"
+			if len(fields) >= 5 && fields[1] == "app" && fields[3] == "exec" {
+				t.App = fields[2]
+				exec, err := strconv.Atoi(fields[4])
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad exec: %v", line, err)
+				}
+				t.Execution = exec
+			}
+			continue
+		}
+		e, err := parseTextEvent(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseTextEvent(text string) (Event, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 3 {
+		return Event{}, fmt.Errorf("too few fields in %q", text)
+	}
+	us, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time: %v", err)
+	}
+	pid, err := strconv.ParseInt(fields[2], 10, 32)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad pid: %v", err)
+	}
+	e := Event{Time: Time(us), Pid: PID(pid)}
+	switch fields[1] {
+	case "fork":
+		e.Kind = KindFork
+		if len(fields) < 4 {
+			return Event{}, fmt.Errorf("fork missing child in %q", text)
+		}
+		child, err := parseKV(fields[3], "child")
+		if err != nil {
+			return Event{}, err
+		}
+		e.Child = PID(child)
+	case "exit":
+		e.Kind = KindExit
+	case "io":
+		e.Kind = KindIO
+		if len(fields) < 8 {
+			return Event{}, fmt.Errorf("io event has too few fields in %q", text)
+		}
+		switch fields[3] {
+		case "read":
+			e.Access = AccessRead
+		case "write":
+			e.Access = AccessWrite
+		case "open":
+			e.Access = AccessOpen
+		case "close":
+			e.Access = AccessClose
+		default:
+			return Event{}, fmt.Errorf("unknown access %q", fields[3])
+		}
+		pc, err := parseKV(fields[4], "pc")
+		if err != nil {
+			return Event{}, err
+		}
+		e.PC = PC(pc)
+		fd, err := parseKV(fields[5], "fd")
+		if err != nil {
+			return Event{}, err
+		}
+		e.FD = FD(fd)
+		block, err := parseKV(fields[6], "block")
+		if err != nil {
+			return Event{}, err
+		}
+		e.Block = block
+		size, err := parseKV(fields[7], "size")
+		if err != nil {
+			return Event{}, err
+		}
+		e.Size = int32(size)
+	default:
+		return Event{}, fmt.Errorf("unknown event kind %q", fields[1])
+	}
+	return e, nil
+}
+
+func parseKV(field, key string) (int64, error) {
+	prefix := key + "="
+	if !strings.HasPrefix(field, prefix) {
+		return 0, fmt.Errorf("expected %s=..., got %q", key, field)
+	}
+	val := field[len(prefix):]
+	if strings.HasPrefix(val, "0x") || strings.HasPrefix(val, "0X") {
+		v, err := strconv.ParseUint(val[2:], 16, 64)
+		return int64(v), err
+	}
+	return strconv.ParseInt(val, 10, 64)
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryRejectsOutOfOrder(t *testing.T) {
+	tr := &Trace{App: "x", Events: []Event{{Time: 10}, {Time: 5}}}
+	if err := WriteBinary(&bytes.Buffer{}, tr); err == nil {
+		t.Fatal("out-of-order trace encoded without error")
+	}
+}
+
+func TestBinaryBadInput(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("PCTR"),              // truncated after magic
+		[]byte("PCTR\x09\x00"),      // bad version
+		[]byte("PCTR\x01\x00\x05"),  // name length but no name
+		[]byte("PCTR\x01\x00\x00y"), // garbage after empty name
+	}
+	for i, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: error %v, want ErrBadFormat", i, err)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# app demo exec 0") {
+		t.Fatalf("header missing:\n%s", buf.String())
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestTextParseErrors(t *testing.T) {
+	bad := []string{
+		"oops",
+		"12 frobnicate 1",
+		"x io 1 read pc=0x1 fd=1 block=1 size=1",
+		"12 io 1 read pc=0x1",                      // too few fields
+		"12 io 1 shred pc=0x1 fd=1 block=1 size=1", // bad access
+		"12 io 1 read pc=zz fd=1 block=1 size=1",   // bad pc
+		"12 io 1 read fd=1 pc=0x1 block=1 size=1",  // wrong key order
+		"12 fork 1",                                // fork without child
+		"12 io notanumber read pc=1 fd=1 block=1 size=1",
+	}
+	for _, line := range bad {
+		if _, err := ReadText(strings.NewReader(line)); err == nil {
+			t.Errorf("line %q parsed without error", line)
+		}
+	}
+}
+
+func TestTextSkipsBlanksAndComments(t *testing.T) {
+	in := "# pcap-trace v1\n\n# app foo exec 3\n\n100 exit 1\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "foo" || tr.Execution != 3 || len(tr.Events) != 1 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+// randomTrace builds an arbitrary well-formed trace for property tests.
+func randomTrace(r *rand.Rand) *Trace {
+	tr := &Trace{App: "prop", Execution: r.Intn(100)}
+	var now Time
+	for i := 0; i < r.Intn(200); i++ {
+		now += Time(r.Intn(1_000_000))
+		e := Event{Time: now, Pid: PID(1 + r.Intn(5))}
+		switch r.Intn(6) {
+		case 0:
+			e.Kind = KindFork
+			e.Child = e.Pid + 100 + PID(i)
+		case 1:
+			e.Kind = KindExit
+		default:
+			e.Kind = KindIO
+			e.Access = Access(r.Intn(4))
+			e.PC = PC(r.Uint32() | 1)
+			e.FD = FD(r.Intn(64))
+			e.Block = int64(r.Intn(1 << 30))
+			e.Size = int32(r.Intn(1 << 20))
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			return len(got.Events) == 0 && got.App == tr.App
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			return len(got.Events) == 0
+		}
+		return reflect.DeepEqual(tr.Events, got.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Delta-encoded varints should beat a naive fixed-size encoding by a
+	// wide margin on realistic traces.
+	tr := &Trace{App: "compact"}
+	var now Time
+	for i := 0; i < 10000; i++ {
+		now += Time(20000)
+		tr.Events = append(tr.Events, Event{
+			Time: now, Pid: 1, Kind: KindIO, Access: AccessRead,
+			PC: 0x08049a10, FD: 3, Block: int64(i), Size: 4096,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / float64(len(tr.Events))
+	if perEvent > 20 {
+		t.Errorf("binary encoding too large: %.1f bytes/event", perEvent)
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+// Impress: the Open Office presentation editor. Like writer it is an
+// editor at heart, but preparing slides keeps pulling in graphic filters,
+// templates and clipart — much more I/O per action — while the user still
+// thinks for long stretches about slide content. Applying a template
+// reads the same template data whether the user then studies the result
+// or immediately flips onward, which makes it impress's ambiguous action.
+
+// Impress I/O call sites.
+const (
+	impPCLibOpen  = 0x41651950
+	impPCLibRead  = 0x48d0d864
+	impPCDocOpen  = 0x081529a0
+	impPCDocRead  = 0x0826ac88
+	impPCTemplate = 0x4783bea4
+	impPCClipart  = 0x08119e54
+	impPCGfxRead  = 0x0812f034
+	impPCAutoSave = 0x0810c49c
+	impPCSaveWr   = 0x080919b8
+	impPCFilter   = 0x414b9124 // graphics filter helper
+	impPCFiltBulk = 0x4333bd90
+	impPCFontRead = 0x48f62fcc // font/preview helper
+	impPCFontBulk = 0x470093d0
+	impPCBakRead  = 0x082a99bc // read-back during save
+	impPCExitWr   = 0x0831929c
+)
+
+func init() {
+	register(&App{
+		Name:       "impress",
+		Executions: 19,
+		Describe: "Open Office presentation editor: graphics-heavy slide operations, " +
+			"template and filter loads, long slide-composition periods.",
+		generate: func(b *B) { interactiveSession(b, impressModel()) },
+	})
+}
+
+func impressModel() *Model {
+	return &Model{
+		StartupPath: []Site{O(impPCLibOpen), R(impPCLibRead), O(impPCDocOpen), R(impPCDocRead)},
+		BulkSite:    R(impPCLibRead),
+		StartupBulk: 4400,
+		StartupFD:   3,
+		Helpers: []Helper{
+			{ // graphics filter helper
+				StartupPath: []Site{O(impPCFilter), R(impPCFiltBulk)},
+				BulkSite:    R(impPCFiltBulk),
+				StartupBulk: 800,
+				FD:          3,
+				AssistPath:  []Site{R(impPCFilter), R(impPCFiltBulk)},
+				AssistBulk:  220,
+			},
+			{ // font/preview helper
+				StartupPath: []Site{O(impPCFontRead), R(impPCFontBulk)},
+				BulkSite:    R(impPCFontBulk),
+				StartupBulk: 500,
+				FD:          3,
+				AssistPath:  []Site{R(impPCFontRead), R(impPCFontBulk)},
+				AssistBulk:  80,
+			},
+		},
+		Kinds: []Kind{
+			{
+				Name:        "compose-slide", // think about content
+				Path:        []Site{R(impPCDocRead), R(impPCTemplate)},
+				FD:          4,
+				BulkSite:    R(impPCDocRead),
+				Bulk:        150,
+				BulkQuick:   50,
+				DirtySite:   W(impPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 1, WeightSettle: 4,
+			},
+			{
+				Name:        "insert-clipart", // browse and insert clipart
+				Path:        []Site{R(impPCClipart), R(impPCGfxRead)},
+				FD:          5,
+				BulkSite:    R(impPCGfxRead),
+				Bulk:        600,
+				BulkQuick:   200,
+				DirtySite:   W(impPCAutoSave),
+				Dirty:       0,
+				Helper:      0,
+				WeightQuick: 1.5, WeightSettle: 1.4,
+			},
+			{
+				Name:        "apply-template", // restyle: ambiguous continuation
+				Path:        []Site{R(impPCTemplate), R(impPCGfxRead)},
+				FD:          6,
+				BulkSite:    R(impPCTemplate),
+				Bulk:        350,
+				BulkQuick:   0, // ambiguous
+				DirtySite:   W(impPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 0.25, WeightSettle: 0.9,
+			},
+			{
+				Name:        "next-slide", // quick slide flip during review
+				Path:        []Site{R(impPCDocRead)},
+				FD:          4,
+				BulkSite:    R(impPCGfxRead),
+				Bulk:        220,
+				BulkQuick:   100,
+				DirtySite:   W(impPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 4, WeightSettle: 0.6,
+			},
+			{
+				Name: "save",
+				// Writes are absorbed by the write-back cache; the disk
+				// sees the post-save read-back of the document.
+				Path:        []Site{R(impPCBakRead), W(impPCSaveWr)},
+				FD:          7,
+				BulkSite:    R(impPCBakRead),
+				Bulk:        60,
+				BulkQuick:   25,
+				DirtySite:   W(impPCAutoSave),
+				Dirty:       2,
+				Helper:      1,
+				WeightQuick: 1, WeightSettle: 0.9,
+			},
+		},
+		EpisodesMin: 4, EpisodesMax: 5,
+		RunMin: 1, RunMax: 3,
+		RhythmWeights:  []float64{0.2, 0.7, 0.1},
+		PChangeRhythm:  0.12,
+		PQuickMicro:    0,
+		PRestlessStart: 0.3, PersistPhase: 0.72,
+		PSettleShortCalm: 0.04, PSettleShortRestless: 0.18,
+		ShortLo: 1.4, ShortHi: 5.2,
+		LongBands:   [3][2]float64{{6.5, 10}, {10.3, 15.2}, {18, 700}},
+		LongWeights: [3]float64{0.44, 0.02, 0.54},
+		ExitPath:    []Site{O(impPCExitWr), W(impPCExitWr)},
+		ExitFD:      7,
+		ExitDirty:   4,
+		ExitSite:    W(impPCSaveWr),
+		IntraLo:     0.005, IntraHi: 0.025,
+	}
+}

@@ -1,0 +1,306 @@
+package workload
+
+import "pcapsim/internal/trace"
+
+// This file implements the shared generative engine behind the four
+// interactive applications (mozilla, writer, impress, xemacs).
+//
+// An execution is: application startup (library loads, helper forks), a
+// sequence of user *episodes*, and shutdown. Following the repetitive
+// structure the paper's Figure 2 describes, an episode is a run of quick
+// actions — each an I/O burst followed by a micro pause (filtered by the
+// wait-window) or a short idle period — capped by a settle action whose
+// think time is long (a shutdown opportunity). The run length is the
+// user's current *rhythm*; it persists across episodes with occasional
+// changes, which is exactly the regularity the Learning Tree's
+// idle-length histories can learn.
+//
+// Two more mechanisms give each predictor its paper-shaped failure mode:
+//
+//   - Quick appearances of an action use a *partial* I/O burst
+//     (interrupted page load, skimmed file) while settles use the full
+//     burst, so PC-path signatures genuinely distinguish most outcomes.
+//     Kinds whose quick burst equals their settle burst are ambiguous —
+//     the paper's subpath aliasing — and mislead PCAP.
+//   - The user oscillates between *calm* and *restless* phases. Restless
+//     settles often abort into another short period before the real long
+//     idle arrives: PCAP's trained signature fires and misses, while the
+//     restless phase's extra short periods shift the idle-history
+//     bit-vector, which is how PCAPh dodges the same miss.
+
+// Kind is one user-action kind in an application's catalog.
+type Kind struct {
+	// Name describes the action ("follow link", "open file", …).
+	Name string
+	// Path is the fixed PC path of the action's I/O burst.
+	Path []Site
+	// FD is the descriptor the action's I/Os use.
+	FD trace.FD
+	// BulkSite/Bulk add the bulk-data run (images, file contents) after
+	// Path when the action is a settle.
+	BulkSite Site
+	Bulk     int
+	// BulkQuick is the bulk when the action is a quick (interrupted)
+	// visit. Zero means "same as Bulk": an ambiguous kind whose quick and
+	// settle appearances are indistinguishable to a path predictor.
+	BulkQuick int
+	// DirtySite/Dirty re-dirty the application's writable blocks (history
+	// databases, autosave files) at the end of the action.
+	DirtySite Site
+	Dirty     int
+	// Helper, if non-negative, makes that helper process perform its
+	// assist burst right after the action.
+	Helper int
+	// WeightQuick/WeightSettle are the selection weights for quick and
+	// settle appearances.
+	WeightQuick, WeightSettle float64
+}
+
+// Helper is a helper process of an interactive application.
+type Helper struct {
+	// StartupPath/StartupBulk is the helper's I/O at fork time.
+	StartupPath []Site
+	BulkSite    Site
+	StartupBulk int
+	FD          trace.FD
+	// AssistPath/AssistBulk is the helper's burst when a Kind names it.
+	AssistPath []Site
+	AssistBulk int
+	// Prob, if non-zero, is the probability the helper exists at all in a
+	// given execution (xemacs only sometimes spawns a subprocess).
+	Prob float64
+}
+
+// Model parameterizes one interactive application.
+type Model struct {
+	// Startup is the root process's launch-time I/O.
+	StartupPath []Site
+	BulkSite    Site
+	StartupBulk int
+	StartupFD   trace.FD
+	// Helpers are forked right after startup.
+	Helpers []Helper
+	// Kinds is the action catalog.
+	Kinds []Kind
+
+	// EpisodesMin/EpisodesMax bound the episodes per execution (uniform).
+	EpisodesMin, EpisodesMax int
+	// RunMin/RunMax bound the rhythm (quick actions per episode).
+	RunMin, RunMax int
+	// PChangeRhythm is the per-episode probability of redrawing the
+	// rhythm.
+	PChangeRhythm float64
+	// PQuickMicro is the probability a quick action's pause is a
+	// sub-wait-window micro pause instead of a short idle period.
+	PQuickMicro float64
+	// RhythmWeights, if non-empty, weights the rhythm draw over
+	// RunMin..RunMax (users have a dominant habit — the regularity that
+	// makes idle-length histories learnable). Empty means uniform.
+	RhythmWeights []float64
+
+	// PRestlessStart is the probability the session starts restless;
+	// PersistPhase is the per-episode probability the phase persists.
+	PRestlessStart, PersistPhase float64
+	// PSettleShortCalm / PSettleShortRestless are the probabilities that
+	// a settle aborts into a short period first (retried up to twice).
+	PSettleShortCalm, PSettleShortRestless float64
+
+	// ShortLo/ShortHi bound short thinks (seconds); they must sit between
+	// the wait-window and the breakeven time.
+	ShortLo, ShortHi float64
+	// LongBands and LongWeights shape the long-think distribution: three
+	// uniform bands (seconds) chosen around the timeout predictor's
+	// behaviour: below its timer, near it, and far above it.
+	LongBands   [3][2]float64
+	LongWeights [3]float64
+
+	// Exit is the shutdown-time I/O.
+	ExitPath  []Site
+	ExitFD    trace.FD
+	ExitDirty int
+	ExitSite  Site
+	// IntraLo/IntraHi bound intra-burst gaps (seconds).
+	IntraLo, IntraHi float64
+}
+
+// interactiveSession generates one execution of m into b.
+func interactiveSession(b *B, m *Model) {
+	root := b.Root()
+
+	// The writable working set (history db, autosave area): a small fixed
+	// block range re-dirtied by actions, flushed by the cache's timer.
+	dirtyBase := b.FreshBlocks(8)
+
+	// Launch.
+	b.AdvanceRange(0.05, 0.3)
+	b.Path(root, m.StartupFD, m.StartupPath, m.IntraLo, m.IntraHi)
+	if m.StartupBulk > 0 {
+		b.Advance(b.R.Range(m.IntraLo, m.IntraHi))
+		b.Burst(root, m.BulkSite, m.StartupFD, m.StartupBulk, m.IntraLo, m.IntraHi)
+	}
+	st := &session{
+		m:          m,
+		helperPids: make([]trace.PID, len(m.Helpers)),
+		helperFree: make([]trace.Time, len(m.Helpers)),
+		dirtyBase:  dirtyBase,
+	}
+	helperPids := st.helperPids
+	for i, h := range m.Helpers {
+		if h.Prob > 0 && !b.R.Bool(h.Prob) {
+			continue // helper absent this execution; pid stays 0
+		}
+		b.AdvanceRange(0.02, 0.1)
+		pid := b.Fork(root)
+		helperPids[i] = pid
+		b.AdvanceRange(0.02, 0.08)
+		b.Path(pid, h.FD, h.StartupPath, m.IntraLo, m.IntraHi)
+		if h.StartupBulk > 0 {
+			b.Advance(b.R.Range(m.IntraLo, m.IntraHi))
+			b.Burst(pid, h.BulkSite, h.FD, h.StartupBulk, m.IntraLo, m.IntraHi)
+		}
+		st.helperFree[i] = b.Now()
+	}
+
+	// The user starts working right away (a micro pause only, filtered
+	// by the wait-window).
+	b.AdvanceRange(0.3, 0.9)
+
+	episodes := m.EpisodesMin
+	if m.EpisodesMax > m.EpisodesMin {
+		episodes += b.R.Intn(m.EpisodesMax - m.EpisodesMin + 1)
+	}
+	rhythm := m.drawRhythm(b)
+	restless := b.R.Bool(m.PRestlessStart)
+
+	for e := 0; e < episodes; e++ {
+		if b.R.Bool(m.PChangeRhythm) {
+			rhythm = m.drawRhythm(b)
+		}
+
+		// The quick run.
+		for k := 0; k < rhythm; k++ {
+			kind := pickKind(b, m, false)
+			st.emitAction(b, root, kind, false)
+			if b.R.Bool(m.PQuickMicro) {
+				b.AdvanceRange(0.2, 0.9)
+			} else {
+				b.AdvanceRange(m.ShortLo, m.ShortHi)
+			}
+		}
+
+		// The settle: possibly aborted into short periods first.
+		pAbort := m.PSettleShortCalm
+		if restless {
+			pAbort = m.PSettleShortRestless
+		}
+		for try := 0; ; try++ {
+			kind := pickKind(b, m, true)
+			st.emitAction(b, root, kind, true)
+			if try < 2 && b.R.Bool(pAbort) {
+				b.AdvanceRange(m.ShortLo, m.ShortHi)
+				continue
+			}
+			b.Advance(drawLong(b, m))
+			break
+		}
+
+		if !b.R.Bool(m.PersistPhase) {
+			restless = !restless
+		}
+	}
+
+	// Shutdown: final saves, helpers exit, root exits.
+	b.Path(root, m.ExitFD, m.ExitPath, m.IntraLo, m.IntraHi)
+	if m.ExitDirty > 0 {
+		b.Advance(b.R.Range(m.IntraLo, m.IntraHi))
+		b.BurstAt(root, m.ExitSite, m.ExitFD, dirtyBase, 8, m.ExitDirty, m.IntraLo, m.IntraHi)
+	}
+	for _, pid := range helperPids {
+		if pid == 0 {
+			continue
+		}
+		b.AdvanceRange(0.02, 0.08)
+		b.Exit(pid)
+	}
+	b.AdvanceRange(0.05, 0.2)
+	b.Exit(root)
+}
+
+// session carries per-execution emission state: the helper pids and the
+// times at which each helper finishes its in-flight burst.
+type session struct {
+	m          *Model
+	helperPids []trace.PID
+	helperFree []trace.Time
+	dirtyBase  int64
+}
+
+// emitAction emits one action's I/O: the PC path, the (full or quick)
+// bulk, any helper assist, and the dirty-block writes. Helper assists run
+// *concurrently* with the root's burst — they start shortly after the
+// action begins and the clock returns to the root's own timeline
+// afterwards, so a slow helper never inflates the root process's idle
+// periods.
+func (st *session) emitAction(b *B, root trace.PID, kind *Kind, settle bool) {
+	m := st.m
+	start := b.Now()
+	b.Path(root, kind.FD, kind.Path, m.IntraLo, m.IntraHi)
+	bulk := kind.Bulk
+	if !settle && kind.BulkQuick > 0 {
+		bulk = kind.BulkQuick
+	}
+	if bulk > 0 {
+		b.Advance(b.R.Range(m.IntraLo, m.IntraHi))
+		b.Burst(root, kind.BulkSite, kind.FD, bulk, m.IntraLo, m.IntraHi)
+	}
+	rootEnd := b.Now()
+	if kind.Helper >= 0 && kind.Helper < len(st.helperPids) && st.helperPids[kind.Helper] != 0 {
+		h := m.Helpers[kind.Helper]
+		pid := st.helperPids[kind.Helper]
+		hstart := start + trace.FromSeconds(b.R.Range(0.03, 0.12))
+		if hstart < st.helperFree[kind.Helper] {
+			hstart = st.helperFree[kind.Helper]
+		}
+		b.Warp(hstart)
+		b.Path(pid, h.FD, h.AssistPath, m.IntraLo, m.IntraHi)
+		if h.AssistBulk > 0 {
+			b.Advance(b.R.Range(m.IntraLo, m.IntraHi))
+			b.Burst(pid, h.BulkSite, h.FD, h.AssistBulk, m.IntraLo, m.IntraHi)
+		}
+		st.helperFree[kind.Helper] = b.Now()
+		b.Warp(rootEnd)
+	}
+	if kind.Dirty > 0 {
+		b.AdvanceRange(0.01, 0.05)
+		b.BurstAt(root, kind.DirtySite, kind.FD, st.dirtyBase, 8, kind.Dirty, m.IntraLo, m.IntraHi)
+	}
+}
+
+func (m *Model) drawRhythm(b *B) int {
+	if m.RunMax <= m.RunMin {
+		return m.RunMin
+	}
+	if len(m.RhythmWeights) > 0 {
+		return m.RunMin + b.R.Pick(m.RhythmWeights)
+	}
+	return m.RunMin + b.R.Intn(m.RunMax-m.RunMin+1)
+}
+
+// pickKind draws an action kind by quick or settle weights.
+func pickKind(b *B, m *Model, settle bool) *Kind {
+	weights := make([]float64, len(m.Kinds))
+	for i := range m.Kinds {
+		if settle {
+			weights[i] = m.Kinds[i].WeightSettle
+		} else {
+			weights[i] = m.Kinds[i].WeightQuick
+		}
+	}
+	return &m.Kinds[b.R.Pick(weights)]
+}
+
+// drawLong draws a long think time from the model's banded mixture.
+func drawLong(b *B, m *Model) float64 {
+	band := b.R.Pick(m.LongWeights[:])
+	return b.R.Range(m.LongBands[band][0], m.LongBands[band][1])
+}

@@ -1,0 +1,159 @@
+package workload
+
+// Mozilla: the web browser. The paper calls it the hardest application to
+// predict: the user follows links in quick flurries (many short idle
+// periods) and settles into reading pages (long periods); page content
+// decides how much I/O a visit needs, and some pages pull in extra
+// libraries through helper processes. A page opened from a bookmark loads
+// exactly like an article read from a link — the same PC path and the
+// same full burst — so its quick appearances alias PCAP's trained
+// signatures; restless browsing phases abort settles into short periods,
+// the misses that PCAPh's idle history later removes.
+
+// Mozilla I/O call sites.
+const (
+	mozPCLibOpen  = 0x440b2d00
+	mozPCLibRead  = 0x4536e95c
+	mozPCHTML     = 0x081120cc
+	mozPCCSS      = 0x0813e43c
+	mozPCImage    = 0x0810dc3c
+	mozPCCacheWr  = 0x080bdd2c
+	mozPCHistWr   = 0x08173570
+	mozPCFormWr   = 0x0822faa8
+	mozPCPlugin   = 0x48ed2304
+	mozPCRender   = 0x49c8052c // render helper
+	mozPCRendBulk = 0x43ce1268
+	mozPCNetIO    = 0x080dcf64 // network/profile helper
+	mozPCProfile  = 0x082813b4
+	mozPCExitWr   = 0x082cdc94
+)
+
+func init() {
+	register(&App{
+		Name:       "mozilla",
+		Executions: 49,
+		Describe: "Web browser: link-following flurries with short idle periods, " +
+			"long page-reading periods, helper processes for rendering and the profile.",
+		generate: func(b *B) { interactiveSession(b, mozillaModel()) },
+	})
+}
+
+func mozillaModel() *Model {
+	return &Model{
+		StartupPath: []Site{O(mozPCLibOpen), R(mozPCLibRead), R(mozPCLibRead), O(mozPCLibOpen)},
+		BulkSite:    R(mozPCLibRead),
+		StartupBulk: 420,
+		StartupFD:   3,
+		Helpers: []Helper{
+			{ // render helper: fonts and image decoders
+				StartupPath: []Site{O(mozPCRender), R(mozPCRendBulk)},
+				BulkSite:    R(mozPCRendBulk),
+				StartupBulk: 70,
+				FD:          3,
+				AssistPath:  []Site{R(mozPCRender), R(mozPCRendBulk)},
+				AssistBulk:  36,
+			},
+			{ // profile helper: bookmarks, cookies, settings
+				StartupPath: []Site{O(mozPCNetIO), R(mozPCProfile)},
+				BulkSite:    R(mozPCProfile),
+				StartupBulk: 40,
+				FD:          3,
+				AssistPath:  []Site{R(mozPCNetIO), W(mozPCProfile)},
+				AssistBulk:  6,
+			},
+		},
+		Kinds: []Kind{
+			{
+				Name:        "hop", // quick link follow; loads abort early
+				Path:        []Site{R(mozPCHTML), R(mozPCCSS)},
+				FD:          4,
+				BulkSite:    R(mozPCImage),
+				Bulk:        24,
+				BulkQuick:   14,
+				DirtySite:   W(mozPCCacheWr),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 6, WeightSettle: 0.5,
+			},
+			{
+				Name:        "article", // settle in and read; render helper decodes
+				Path:        []Site{R(mozPCHTML), R(mozPCCSS), R(mozPCImage)},
+				FD:          4,
+				BulkSite:    R(mozPCImage),
+				Bulk:        90,
+				BulkQuick:   30,
+				DirtySite:   W(mozPCHistWr),
+				Dirty:       0,
+				Helper:      0,
+				WeightQuick: 1.2, WeightSettle: 4,
+			},
+			{
+				// Same PC path and the same full burst as "article"
+				// (bookmarked pages always load completely), so quick
+				// appearances alias the trained signature; only the file
+				// descriptor differs — the PCAPf differentiator.
+				Name:        "bookmark",
+				Path:        []Site{R(mozPCHTML), R(mozPCCSS), R(mozPCImage)},
+				FD:          7,
+				BulkSite:    R(mozPCImage),
+				Bulk:        90,
+				BulkQuick:   0, // ambiguous
+				DirtySite:   W(mozPCHistWr),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 1.4, WeightSettle: 1.5,
+			},
+			{
+				Name:        "media", // multimedia page decoded by the render helper
+				Path:        []Site{R(mozPCHTML), R(mozPCCSS), R(mozPCPlugin)},
+				FD:          5,
+				BulkSite:    R(mozPCPlugin),
+				Bulk:        110,
+				BulkQuick:   35,
+				DirtySite:   W(mozPCCacheWr),
+				Dirty:       0,
+				Helper:      0,
+				WeightQuick: 0.8, WeightSettle: 2,
+			},
+			{
+				Name:        "form", // submit a form; the profile helper records it
+				Path:        []Site{R(mozPCHTML), W(mozPCFormWr)},
+				FD:          6,
+				BulkSite:    R(mozPCImage),
+				Bulk:        8,
+				BulkQuick:   5,
+				DirtySite:   W(mozPCHistWr),
+				Dirty:       2,
+				Helper:      1,
+				WeightQuick: 1.8, WeightSettle: 0.8,
+			},
+			{
+				Name:        "newtab", // home page from cache
+				Path:        []Site{R(mozPCHTML)},
+				FD:          4,
+				BulkSite:    R(mozPCImage),
+				Bulk:        6,
+				BulkQuick:   4,
+				DirtySite:   W(mozPCCacheWr),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 2.5, WeightSettle: 0.2,
+			},
+		},
+		EpisodesMin: 6, EpisodesMax: 8,
+		RunMin: 1, RunMax: 3,
+		RhythmWeights:  []float64{0.2, 0.65, 0.15},
+		PChangeRhythm:  0.12,
+		PQuickMicro:    0,
+		PRestlessStart: 0.35, PersistPhase: 0.72,
+		PSettleShortCalm: 0.06, PSettleShortRestless: 0.22,
+		ShortLo: 1.3, ShortHi: 5.2,
+		LongBands:   [3][2]float64{{6.5, 10}, {10.3, 15.2}, {16, 700}},
+		LongWeights: [3]float64{0.50, 0.02, 0.48},
+		ExitPath:    []Site{O(mozPCExitWr), W(mozPCExitWr)},
+		ExitFD:      6,
+		ExitDirty:   2,
+		ExitSite:    W(mozPCHistWr),
+		IntraLo:     0.008, IntraHi: 0.035,
+	}
+}

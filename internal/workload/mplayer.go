@@ -1,0 +1,119 @@
+package workload
+
+// Mplayer: the media player. It fills an 8 MB buffer at startup, then
+// keeps it full with periodic refill reads until the movie's file is
+// exhausted; the movie finishes playing from the buffer, giving one long
+// drain idle period at the end, closed out by the exit-time config write.
+// Users occasionally pause at a chapter. Refill gaps sit *below* the
+// predictors' wait-window, so mid-movie I/O is filtered noise — what
+// PCAP must learn is the (kind-specific, fixed-length) cumulative PC path
+// of a whole movie.
+//
+// The user watches clips from a small fixed library (the movie catalog),
+// which is what bounds PCAP's table (Table 3: 24 entries) the same way
+// real users re-watch content of a few characteristic lengths.
+
+// Mplayer I/O call sites.
+const (
+	mplPCLibOpen  = 0x41f1950c
+	mplPCCodecRd  = 0x459f63b4
+	mplPCMovOpen  = 0x082666f8
+	mplPCFill     = 0x08081bf4
+	mplPCRefill   = 0x081e5c50
+	mplPCSubRead  = 0x4951fd48 // subtitle/audio demux helper
+	mplPCSubBulk  = 0x49b0814c
+	mplPCConfOpen = 0x08267b60
+	mplPCConfWr   = 0x08145c08
+)
+
+// movieKind is one clip in the library.
+type movieKind struct {
+	// refills is the fixed number of refill bursts (movie length).
+	refills int
+	// chapters are refill indices where a pause can happen.
+	chapters []int
+	// subtitled movies make the demux helper read periodically.
+	subtitled bool
+}
+
+// movieCatalog is the fixed clip library, identical across executions.
+var movieCatalog = []movieKind{
+	{refills: 240, chapters: []int{90, 170}, subtitled: false},
+	{refills: 330, chapters: []int{120, 230}, subtitled: true},
+	{refills: 420, chapters: []int{150, 300}, subtitled: false},
+	{refills: 520, chapters: []int{180, 360}, subtitled: true},
+	{refills: 600, chapters: []int{220, 430}, subtitled: false},
+	{refills: 180, chapters: []int{80}, subtitled: true},
+}
+
+func init() {
+	register(&App{
+		Name:       "mplayer",
+		Executions: 31,
+		Describe: "Media player: buffer fill, sub-wait-window refill reads, chapter " +
+			"pauses, one long buffer-drain idle at the movie's end.",
+		generate: genMplayer,
+	})
+}
+
+func genMplayer(b *B) {
+	root := b.Root()
+	intraLo, intraHi := 0.002, 0.006
+
+	// Launch: codec and config loads.
+	b.AdvanceRange(0.05, 0.2)
+	b.Path(root, 3, []Site{O(mplPCLibOpen), R(mplPCCodecRd)}, intraLo, intraHi)
+	b.Advance(b.R.Range(intraLo, intraHi))
+	b.Burst(root, R(mplPCCodecRd), 3, 180, intraLo, intraHi)
+
+	// The demux helper handles audio/subtitles.
+	b.AdvanceRange(0.02, 0.08)
+	helper := b.Fork(root)
+	b.AdvanceRange(0.02, 0.06)
+	b.Burst(helper, R(mplPCSubBulk), 3, 30, intraLo, intraHi)
+
+	// Sometimes the user browses before pressing play: a long idle right
+	// after startup.
+	if b.R.Bool(0.3) {
+		b.Advance(b.R.Range(8, 45))
+	} else {
+		b.AdvanceRange(0.2, 0.9)
+	}
+
+	movie := &movieCatalog[b.R.Intn(len(movieCatalog))]
+
+	// Open the movie and fill the 8 MB buffer (2048 4 KB blocks).
+	b.Path(root, 4, []Site{O(mplPCMovOpen), R(mplPCFill)}, intraLo, intraHi)
+	b.Advance(b.R.Range(intraLo, intraHi))
+	b.Burst(root, R(mplPCFill), 4, 2000, intraLo, intraHi)
+
+	// Decide the pause (at most one per viewing).
+	pauseAt := -1
+	if b.R.Bool(0.38) {
+		pauseAt = movie.chapters[b.R.Intn(len(movie.chapters))]
+	}
+
+	// Playback: refill bursts every ~0.7 s — below the wait-window, so
+	// they are filtered by every dynamic predictor.
+	for i := 0; i < movie.refills; i++ {
+		b.Advance(b.R.Range(0.55, 0.85))
+		b.Burst(root, R(mplPCRefill), 4, 36, intraLo, intraHi)
+		if movie.subtitled && i%70 == 35 {
+			b.AdvanceRange(0.01, 0.03)
+			b.Burst(helper, R(mplPCSubRead), 5, 4, intraLo, intraHi)
+		}
+		if i == pauseAt {
+			// Chapter pause: a long idle period mid-movie.
+			b.Advance(b.R.Range(7, 90))
+		}
+	}
+
+	// The movie plays out of the buffer: the drain idle, ended by the
+	// exit-time config write-out.
+	b.Advance(b.R.Range(25, 70))
+	b.Path(root, 6, []Site{O(mplPCConfOpen), W(mplPCConfWr)}, intraLo, intraHi)
+	b.AdvanceRange(0.03, 0.1)
+	b.Exit(helper)
+	b.AdvanceRange(0.02, 0.08)
+	b.Exit(root)
+}

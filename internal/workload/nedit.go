@@ -1,0 +1,88 @@
+package workload
+
+// Nedit: the quick-fix editor and the paper's only single-process
+// application. The user pops it open to correct source code during a
+// compile or bug fix: open the file, maybe scroll around, edit for one
+// long stretch, save and quit. "Nedit does not show repetitive behavior
+// since once a file is modified it is saved and nedit is closed" — within
+// an execution there is exactly one shutdown opportunity, so prediction
+//-table reuse across executions is what makes it predictable at all.
+
+// Nedit I/O call sites.
+const (
+	nedPCInit     = 0x082204ec
+	nedPCRcRead   = 0x080993c0
+	nedPCFileOpen = 0x0826ee28
+	nedPCFileRead = 0x080b5080
+	nedPCScroll   = 0x0815e730
+	nedPCBackup   = 0x0820f6e8
+	nedPCSaveWr   = 0x082ca1e4
+	nedPCExitWr   = 0x0827d4d8
+)
+
+func init() {
+	register(&App{
+		Name:       "nedit",
+		Executions: 29,
+		Describe: "Single-process quick-fix editor: open a source file, one long edit " +
+			"period, save, quit.",
+		generate: genNedit,
+	})
+}
+
+func genNedit(b *B) {
+	root := b.Root()
+	intraLo, intraHi := 0.006, 0.03
+
+	// Launch: read ~/.nedit and syntax patterns.
+	b.AdvanceRange(0.05, 0.2)
+	b.Path(root, 3, []Site{O(nedPCInit), R(nedPCRcRead)}, intraLo, intraHi)
+	b.Advance(b.R.Range(intraLo, intraHi))
+	b.Burst(root, R(nedPCRcRead), 3, 40, intraLo, intraHi)
+
+	// Open the source file.
+	b.AdvanceRange(0.3, 0.9)
+	b.Path(root, 4, []Site{O(nedPCFileOpen), R(nedPCFileRead)}, intraLo, intraHi)
+	// The file body: a read burst whose length is one of two fixed size
+	// classes (a short fix vs a larger source file). Burst lengths must be
+	// drawn from a fixed set because every access's PC is summed into the
+	// path signature — free-running counts would splinter nedit's table.
+	b.Advance(b.R.Range(intraLo, intraHi))
+	fileBlocks := 60
+	if b.R.Bool(0.4) {
+		fileBlocks = 120
+	}
+	b.Burst(root, R(nedPCFileRead), 4, fileBlocks, intraLo, intraHi)
+
+	// Scroll to the right spot: zero to three quick scroll bursts, paced
+	// under the predictors' wait-window (the user is flipping pages, not
+	// pausing). The scroll count is the only path variety nedit has,
+	// which keeps its prediction table tiny (Table 3: 6 entries).
+	scrolls := b.R.Intn(3)
+	for s := 0; s < scrolls; s++ {
+		b.AdvanceRange(0.35, 0.95)
+		b.Burst(root, R(nedPCScroll), 4, 20, intraLo, intraHi)
+	}
+
+	// The one long idle period: the user edits the file. The mixture
+	// includes edits short enough that the timeout predictor cannot
+	// profit from them.
+	switch {
+	case b.R.Bool(0.25):
+		b.Advance(b.R.Range(6.5, 10))
+	case b.R.Bool(0.07):
+		b.Advance(b.R.Range(10.3, 15.2))
+	default:
+		b.Advance(b.R.Range(25, 900))
+	}
+
+	// Save: create the backup file (a metadata miss ends the idle
+	// period), then write the buffer out, and quit.
+	b.Path(root, 5, []Site{O(nedPCBackup), W(nedPCSaveWr)}, intraLo, intraHi)
+	b.Advance(b.R.Range(intraLo, intraHi))
+	b.Burst(root, W(nedPCSaveWr), 5, 30+b.R.Intn(30), intraLo, intraHi)
+	b.AdvanceRange(0.4, 1.2)
+	b.IO(root, W(nedPCExitWr), 3, b.FreshBlocks(1))
+	b.AdvanceRange(0.05, 0.15)
+	b.Exit(root)
+}

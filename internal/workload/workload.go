@@ -1,0 +1,295 @@
+// Package workload synthesizes application I/O traces with the structure
+// the paper's predictors exploit.
+//
+// The paper evaluates on strace-collected traces of six interactive Linux
+// applications (its Table 1). Those traces are not available, so this
+// package substitutes deterministic generative models — one per
+// application — that reproduce the properties every predictor in the
+// study keys on:
+//
+//   - I/O operations are triggered from a small, stable set of program
+//     counters (call sites), identical across executions;
+//   - user actions produce bursts of closely spaced I/Os followed by
+//     think times that are either short (below the disk breakeven time)
+//     or long (shutdown opportunities);
+//   - the PC paths leading into long idle periods recur within and across
+//     executions, with bounded variety (a per-application scenario
+//     catalog), including prefix-aliased paths that mislead path
+//     predictors and modal user behaviour that idle-period history
+//     disambiguates;
+//   - applications are multi-process where the paper says so, with forks
+//     and exits recorded in the trace.
+//
+// Every generator is a pure function of (seed, execution index), so all
+// experiments are reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pcapsim/internal/rng"
+	"pcapsim/internal/trace"
+)
+
+// App is a synthetic application model.
+type App struct {
+	// Name is the application name as in the paper's Table 1.
+	Name string
+	// Executions is the number of recorded executions (Table 1).
+	Executions int
+	// Describe summarizes the modelled user behaviour.
+	Describe string
+	// generate appends one execution's events to the builder.
+	generate func(b *B)
+}
+
+// registry holds the six paper applications, keyed by name.
+var registry = map[string]*App{}
+
+// register adds an app at package init time.
+func register(a *App) *App {
+	if _, dup := registry[a.Name]; dup {
+		panic("workload: duplicate app " + a.Name)
+	}
+	registry[a.Name] = a
+	return a
+}
+
+// Apps returns the six applications in the paper's Table 1 order.
+func Apps() []*App {
+	names := []string{"mozilla", "writer", "impress", "xemacs", "nedit", "mplayer"}
+	out := make([]*App, len(names))
+	for i, n := range names {
+		a, ok := registry[n]
+		if !ok {
+			panic("workload: missing app " + n)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// ByName returns the named application model.
+func ByName(name string) (*App, bool) {
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names returns all registered application names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trace generates the trace of one execution. The same (seed, exec) pair
+// always yields an identical trace.
+func (a *App) Trace(seed uint64, exec int) *trace.Trace {
+	if exec < 0 {
+		panic("workload: negative execution index")
+	}
+	b := &B{
+		// Catalog randomness is shared by every execution of the app so
+		// that scenario catalogs — and therefore PC paths and signatures —
+		// are stable across executions.
+		CatalogR: rng.New(seed).Split(hashName(a.Name)),
+		R:        rng.New(seed).Split(hashName(a.Name)).Split(uint64(exec) + 1),
+		Exec:     exec,
+		nextPid:  rootPid + 1,
+	}
+	a.generate(b)
+	t := &trace.Trace{App: a.Name, Execution: exec, Events: b.events}
+	t.SortStable()
+	return t
+}
+
+// Traces generates all of the app's executions (Table 1 counts).
+func (a *App) Traces(seed uint64) []*trace.Trace {
+	out := make([]*trace.Trace, a.Executions)
+	for i := range out {
+		out[i] = a.Trace(seed, i)
+	}
+	return out
+}
+
+// hashName derives a stable 64-bit label from an app name (FNV-1a).
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rootPid is the initial process of every execution.
+const rootPid trace.PID = 1
+
+// Site is one I/O call site in an application: the program counter plus
+// the operation it performs.
+type Site struct {
+	PC     trace.PC
+	Access trace.Access
+	// Size is the bytes per operation (0 defaults to 4 KB).
+	Size int32
+}
+
+// R returns a read site.
+func R(pc trace.PC) Site { return Site{PC: pc, Access: trace.AccessRead, Size: 4096} }
+
+// W returns a write site.
+func W(pc trace.PC) Site { return Site{PC: pc, Access: trace.AccessWrite, Size: 4096} }
+
+// O returns an open site (the cache treats it as a metadata read).
+func O(pc trace.PC) Site { return Site{PC: pc, Access: trace.AccessOpen, Size: 4096} }
+
+// B builds one execution's event stream. Application models drive it
+// turn-by-turn: emit I/O bursts for a process, advance the clock, fork and
+// exit processes.
+type B struct {
+	// R is the per-execution randomness (user behaviour).
+	R *rng.Source
+	// CatalogR is shared across all executions of the app; use it only to
+	// build catalogs deterministically (it must be consumed identically
+	// in every execution).
+	CatalogR *rng.Source
+	// Exec is the execution index.
+	Exec int
+
+	now       trace.Time
+	events    []trace.Event
+	nextPid   trace.PID
+	nextBlock int64
+}
+
+// NewBuilder returns a builder for hand-written application models (the
+// six paper applications construct theirs through App.Trace). The catalog
+// source defaults to an independent split of r.
+func NewBuilder(r *rng.Source, exec int) *B {
+	return &B{
+		R:        r,
+		CatalogR: r.Split(0xCA7A_106),
+		Exec:     exec,
+		nextPid:  rootPid + 1,
+	}
+}
+
+// Build finalizes the builder into a sorted, labelled trace.
+func (b *B) Build(app string, exec int) *trace.Trace {
+	t := &trace.Trace{App: app, Execution: exec, Events: b.events}
+	t.SortStable()
+	return t
+}
+
+// Root returns the execution's initial process id.
+func (b *B) Root() trace.PID { return rootPid }
+
+// Now returns the builder clock.
+func (b *B) Now() trace.Time { return b.now }
+
+// Warp sets the builder clock, allowing concurrent activity of several
+// processes to be emitted one process at a time (helper bursts overlap the
+// root's). Out-of-order emission is safe: App.Trace sorts the events.
+func (b *B) Warp(t trace.Time) {
+	if t < 0 {
+		panic("workload: negative warp target")
+	}
+	b.now = t
+}
+
+// Advance moves the clock forward by seconds.
+func (b *B) Advance(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("workload: negative advance %g", seconds))
+	}
+	b.now += trace.FromSeconds(seconds)
+}
+
+// AdvanceRange moves the clock forward by a uniform draw from [lo, hi)
+// seconds and returns the drawn value.
+func (b *B) AdvanceRange(lo, hi float64) float64 {
+	d := b.R.Range(lo, hi)
+	b.Advance(d)
+	return d
+}
+
+// Fork creates a child of parent and returns its pid.
+func (b *B) Fork(parent trace.PID) trace.PID {
+	child := b.nextPid
+	b.nextPid++
+	b.events = append(b.events, trace.Event{
+		Time: b.now, Pid: parent, Kind: trace.KindFork, Child: child,
+	})
+	return child
+}
+
+// Exit terminates pid.
+func (b *B) Exit(pid trace.PID) {
+	b.events = append(b.events, trace.Event{Time: b.now, Pid: pid, Kind: trace.KindExit})
+}
+
+// IO emits one I/O event for pid at the current time.
+func (b *B) IO(pid trace.PID, s Site, fd trace.FD, block int64) {
+	size := s.Size
+	if size == 0 {
+		size = 4096
+	}
+	b.events = append(b.events, trace.Event{
+		Time:   b.now,
+		Pid:    pid,
+		Kind:   trace.KindIO,
+		Access: s.Access,
+		PC:     s.PC,
+		FD:     fd,
+		Block:  block,
+		Size:   size,
+	})
+}
+
+// FreshBlocks reserves n never-before-used disk blocks and returns the
+// first. Reads of fresh blocks model cold data (file cache misses).
+func (b *B) FreshBlocks(n int) int64 {
+	base := b.nextBlock
+	b.nextBlock += int64(n)
+	return base
+}
+
+// Burst emits count I/Os for pid at site s, touching consecutive fresh
+// blocks, with intra-burst gaps uniform in [minGap, maxGap) seconds.
+// Intra-burst gaps are kept well under the predictors' wait-window, so a
+// burst reads as one unit of I/O activity.
+func (b *B) Burst(pid trace.PID, s Site, fd trace.FD, count int, minGap, maxGap float64) {
+	base := b.FreshBlocks(count)
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			b.Advance(b.R.Range(minGap, maxGap))
+		}
+		b.IO(pid, s, fd, base+int64(i))
+	}
+}
+
+// BurstAt is Burst over an explicit block range (for re-reads that should
+// hit the file cache), wrapping within n blocks.
+func (b *B) BurstAt(pid trace.PID, s Site, fd trace.FD, base int64, n int, count int, minGap, maxGap float64) {
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			b.Advance(b.R.Range(minGap, maxGap))
+		}
+		b.IO(pid, s, fd, base+int64(i%n))
+	}
+}
+
+// Path emits one I/O per site in order, each on a fresh block, with
+// intra-burst spacing. It is the unit from which PC paths are composed.
+func (b *B) Path(pid trace.PID, fd trace.FD, sites []Site, minGap, maxGap float64) {
+	for i, s := range sites {
+		if i > 0 {
+			b.Advance(b.R.Range(minGap, maxGap))
+		}
+		b.IO(pid, s, fd, b.FreshBlocks(1))
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 6 {
+		t.Fatalf("%d apps", len(apps))
+	}
+	// The paper's Table 1 execution counts.
+	want := map[string]int{
+		"mozilla": 49, "writer": 33, "impress": 19,
+		"xemacs": 37, "nedit": 29, "mplayer": 31,
+	}
+	for _, a := range apps {
+		if a.Executions != want[a.Name] {
+			t.Errorf("%s: %d executions, want %d", a.Name, a.Executions, want[a.Name])
+		}
+		if a.Describe == "" {
+			t.Errorf("%s: no description", a.Name)
+		}
+	}
+	if _, ok := ByName("mozilla"); !ok {
+		t.Error("ByName(mozilla) failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName(nonesuch) succeeded")
+	}
+	if len(Names()) != 6 {
+		t.Errorf("Names: %v", Names())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, a := range Apps() {
+		t1 := a.Trace(123, 0)
+		t2 := a.Trace(123, 0)
+		if !reflect.DeepEqual(t1, t2) {
+			t.Errorf("%s: same (seed, exec) produced different traces", a.Name)
+		}
+		t3 := a.Trace(124, 0)
+		if reflect.DeepEqual(t1.Events, t3.Events) {
+			t.Errorf("%s: different seeds produced identical traces", a.Name)
+		}
+		t4 := a.Trace(123, 1)
+		if reflect.DeepEqual(t1.Events, t4.Events) {
+			t.Errorf("%s: different executions produced identical traces", a.Name)
+		}
+	}
+}
+
+func TestAllTracesValidate(t *testing.T) {
+	for _, a := range Apps() {
+		for exec := 0; exec < a.Executions; exec++ {
+			tr := a.Trace(7, exec)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", a.Name, exec, err)
+			}
+			if tr.App != a.Name || tr.Execution != exec {
+				t.Fatalf("%s/%d: labels %q/%d", a.Name, exec, tr.App, tr.Execution)
+			}
+			if tr.IOCount() == 0 {
+				t.Fatalf("%s/%d: no I/O", a.Name, exec)
+			}
+		}
+	}
+}
+
+// TestPCStabilityAcrossExecutions: the PC sets of different executions of
+// the same application must coincide — the property PCAP's cross-execution
+// table reuse depends on.
+func TestPCStabilityAcrossExecutions(t *testing.T) {
+	for _, a := range Apps() {
+		pcs := func(exec int) map[trace.PC]bool {
+			set := map[trace.PC]bool{}
+			for _, e := range a.Trace(9, exec).Events {
+				if e.IsIO() {
+					set[e.PC] = true
+				}
+			}
+			return set
+		}
+		// Not every execution exercises every site (optional helpers,
+		// rare actions), so compare a later window against the union of
+		// an earlier one: no new call sites may ever appear.
+		early := map[trace.PC]bool{}
+		for exec := 0; exec < 10 && exec < a.Executions; exec++ {
+			for pc := range pcs(exec) {
+				early[pc] = true
+			}
+		}
+		for exec := 10; exec < 15 && exec < a.Executions; exec++ {
+			for pc := range pcs(exec) {
+				if !early[pc] {
+					t.Errorf("%s: execution %d introduced new PC 0x%x", a.Name, exec, uint32(pc))
+				}
+			}
+		}
+	}
+}
+
+func TestNeditSingleProcess(t *testing.T) {
+	a, _ := ByName("nedit")
+	for exec := 0; exec < 5; exec++ {
+		tr := a.Trace(11, exec)
+		if got := tr.Pids(); len(got) != 1 {
+			t.Fatalf("nedit exec %d has %d processes", exec, len(got))
+		}
+	}
+}
+
+func TestMultiProcessApps(t *testing.T) {
+	for _, name := range []string{"mozilla", "writer", "impress", "mplayer"} {
+		a, _ := ByName(name)
+		tr := a.Trace(11, 0)
+		if got := tr.Pids(); len(got) < 2 {
+			t.Errorf("%s has %d processes, want ≥2", name, len(got))
+		}
+	}
+}
+
+func TestEventsSortedAndExitLast(t *testing.T) {
+	for _, a := range Apps() {
+		tr := a.Trace(5, 0)
+		var last trace.Time
+		for i, e := range tr.Events {
+			if e.Time < last {
+				t.Fatalf("%s: event %d out of order", a.Name, i)
+			}
+			last = e.Time
+		}
+		// Every execution ends with the root's exit.
+		final := tr.Events[len(tr.Events)-1]
+		if final.Kind != trace.KindExit {
+			t.Errorf("%s: final event is %v, want exit", a.Name, final.Kind)
+		}
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	b := &B{nextPid: 2}
+	if b.Root() != 1 {
+		t.Error("root pid")
+	}
+	b.Advance(1.5)
+	if b.Now() != trace.FromSeconds(1.5) {
+		t.Errorf("now %v", b.Now())
+	}
+	child := b.Fork(b.Root())
+	if child != 2 {
+		t.Errorf("child pid %d", child)
+	}
+	b.IO(child, R(0x10), 3, b.FreshBlocks(1))
+	b.Exit(child)
+	if len(b.events) != 3 {
+		t.Errorf("%d events", len(b.events))
+	}
+	if base := b.FreshBlocks(5); base != 1 {
+		t.Errorf("fresh base %d", base)
+	}
+	if base := b.FreshBlocks(1); base != 6 {
+		t.Errorf("fresh base %d", base)
+	}
+	b.Warp(trace.Second)
+	if b.Now() != trace.Second {
+		t.Error("warp")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := &B{}
+	for name, fn := range map[string]func(){
+		"negative advance": func() { b.Advance(-1) },
+		"negative warp":    func() { b.Warp(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSiteConstructors(t *testing.T) {
+	if r := R(5); r.Access != trace.AccessRead || r.Size != 4096 {
+		t.Error("R")
+	}
+	if w := W(5); w.Access != trace.AccessWrite {
+		t.Error("W")
+	}
+	if o := O(5); o.Access != trace.AccessOpen {
+		t.Error("O")
+	}
+}
+
+func TestTable1Scale(t *testing.T) {
+	// Sanity bands around the paper's Table 1 I/O totals (±40%): the
+	// generators must stay in the right order of magnitude even if exact
+	// calibration drifts.
+	want := map[string]int{
+		"mozilla": 90843, "writer": 133016, "impress": 220455,
+		"xemacs": 79720, "nedit": 6663, "mplayer": 512433,
+	}
+	for _, a := range Apps() {
+		total := 0
+		for exec := 0; exec < a.Executions; exec++ {
+			total += a.Trace(20040214, exec).IOCount()
+		}
+		lo, hi := int(float64(want[a.Name])*0.6), int(float64(want[a.Name])*1.4)
+		if total < lo || total > hi {
+			t.Errorf("%s: %d I/Os, want within [%d, %d]", a.Name, total, lo, hi)
+		}
+	}
+}

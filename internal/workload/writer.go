@@ -1,0 +1,130 @@
+package workload
+
+// Writer: the Open Office word processor. The user mostly composes text —
+// long stretches of typing and thinking with no disk activity — broken by
+// autosaves, spell-checker dictionary loads, and the occasional insertion
+// of an object that pulls in filter libraries through a helper process.
+// After proofreading come flurries of quick fixes. An explicit save looks
+// the same whether the user then keeps working or walks away, which makes
+// "save" writer's ambiguous action.
+
+// Writer I/O call sites.
+const (
+	wrtPCLibOpen  = 0x480289e0
+	wrtPCLibRead  = 0x4009f000
+	wrtPCDocOpen  = 0x08166a88
+	wrtPCDocRead  = 0x08065080
+	wrtPCDictRead = 0x47f453a0
+	wrtPCAutoSave = 0x080f8d2c
+	wrtPCSaveWr   = 0x0810bd1c
+	wrtPCFilter   = 0x481df638 // filter helper
+	wrtPCFiltBulk = 0x46378390
+	wrtPCFontRead = 0x42ed0d50 // font/UI helper
+	wrtPCFontBulk = 0x454dc778
+	wrtPCBakRead  = 0x08191328 // backup read-back during save
+	wrtPCExitWr   = 0x080c01f8
+)
+
+func init() {
+	register(&App{
+		Name:       "writer",
+		Executions: 33,
+		Describe: "Open Office word processor: long composing periods, autosave and " +
+			"dictionary bursts, filter and font helper processes.",
+		generate: func(b *B) { interactiveSession(b, writerModel()) },
+	})
+}
+
+func writerModel() *Model {
+	return &Model{
+		StartupPath: []Site{O(wrtPCLibOpen), R(wrtPCLibRead), O(wrtPCDocOpen), R(wrtPCDocRead)},
+		BulkSite:    R(wrtPCLibRead),
+		StartupBulk: 2500,
+		StartupFD:   3,
+		Helpers: []Helper{
+			{ // import/export filter helper
+				StartupPath: []Site{O(wrtPCFilter), R(wrtPCFiltBulk)},
+				BulkSite:    R(wrtPCFiltBulk),
+				StartupBulk: 300,
+				FD:          3,
+				AssistPath:  []Site{R(wrtPCFilter), R(wrtPCFiltBulk)},
+				AssistBulk:  60,
+			},
+			{ // font and UI resource helper
+				StartupPath: []Site{O(wrtPCFontRead), R(wrtPCFontBulk)},
+				BulkSite:    R(wrtPCFontBulk),
+				StartupBulk: 180,
+				FD:          3,
+				AssistPath:  []Site{R(wrtPCFontRead), R(wrtPCFontBulk)},
+				AssistBulk:  20,
+			},
+		},
+		Kinds: []Kind{
+			{
+				Name:        "compose", // a paragraph of typing, then the spell checker
+				Path:        []Site{R(wrtPCDictRead), R(wrtPCDictRead)},
+				FD:          4,
+				BulkSite:    R(wrtPCDictRead),
+				Bulk:        60,
+				BulkQuick:   16,
+				DirtySite:   W(wrtPCAutoSave),
+				Dirty:       0,
+				Helper:      1,
+				WeightQuick: 1, WeightSettle: 5,
+			},
+			{
+				Name:        "quickfix", // proofreading correction
+				Path:        []Site{R(wrtPCDocRead)},
+				FD:          4,
+				BulkSite:    R(wrtPCDocRead),
+				Bulk:        20,
+				BulkQuick:   8,
+				DirtySite:   W(wrtPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 5, WeightSettle: 0.8,
+			},
+			{
+				Name:        "insert-object", // clipart/table: filter helper loads libraries
+				Path:        []Site{R(wrtPCDocRead), R(wrtPCFilter)},
+				FD:          5,
+				BulkSite:    R(wrtPCDocRead),
+				Bulk:        150,
+				BulkQuick:   40,
+				DirtySite:   W(wrtPCAutoSave),
+				Dirty:       0,
+				Helper:      0,
+				WeightQuick: 0.8, WeightSettle: 1.4,
+			},
+			{
+				Name: "save", // explicit save: ambiguous continuation
+				// The writes themselves are absorbed by the write-back
+				// cache; what the disk sees is the backup read-back.
+				Path:        []Site{R(wrtPCBakRead), W(wrtPCSaveWr)},
+				FD:          6,
+				BulkSite:    R(wrtPCBakRead),
+				Bulk:        30,
+				BulkQuick:   0, // ambiguous
+				DirtySite:   W(wrtPCAutoSave),
+				Dirty:       2,
+				Helper:      -1,
+				WeightQuick: 0.15, WeightSettle: 1.0,
+			},
+		},
+		EpisodesMin: 3, EpisodesMax: 4,
+		RunMin: 1, RunMax: 3,
+		RhythmWeights:  []float64{0.25, 0.7, 0.05},
+		PChangeRhythm:  0.12,
+		PQuickMicro:    0,
+		PRestlessStart: 0.3, PersistPhase: 0.74,
+		PSettleShortCalm: 0.03, PSettleShortRestless: 0.14,
+		ShortLo: 1.4, ShortHi: 5.2,
+		LongBands:   [3][2]float64{{6.5, 10}, {10.3, 15.2}, {18, 900}},
+		LongWeights: [3]float64{0.44, 0.02, 0.54},
+		ExitPath:    []Site{O(wrtPCExitWr), W(wrtPCExitWr)},
+		ExitFD:      6,
+		ExitDirty:   4,
+		ExitSite:    W(wrtPCSaveWr),
+		IntraLo:     0.006, IntraHi: 0.03,
+	}
+}

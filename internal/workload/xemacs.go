@@ -1,0 +1,134 @@
+package workload
+
+// Xemacs: the editor the user runs for real work — creating larger files
+// and editing several files at once. Sessions open with the paper's
+// canonical aliasing scenario: the user consecutively opens multiple
+// files (each open burst followed by a short pause) and only the last one
+// is followed by a long editing period. "Save as" is xemacs's ambiguous
+// action — the paper's own example of subpath aliasing. Nearly
+// single-process; an occasional subprocess (a compile or grep) appears in
+// some sessions.
+
+// Xemacs I/O call sites.
+const (
+	xemPCInit     = 0x0826facc
+	xemPCElcRead  = 0x41388518
+	xemPCFileOpen = 0x080ae3d8
+	xemPCFileRead = 0x0831c5f4
+	xemPCDirScan  = 0x0833d738
+	xemPCAutoSave = 0x08121200
+	xemPCSaveWr   = 0x08340f80
+	xemPCTagsRead = 0x08198c4c
+	xemPCSubProc  = 0x41677cfc // compile/grep subprocess
+	xemPCSubBulk  = 0x4184cf28
+	xemPCExitWr   = 0x08296bc0
+)
+
+func init() {
+	register(&App{
+		Name:       "xemacs",
+		Executions: 37,
+		Describe: "Editor for larger files: multi-file open loops with short pauses, " +
+			"long typing/thinking periods, occasional compile subprocess.",
+		generate: func(b *B) { interactiveSession(b, xemacsModel()) },
+	})
+}
+
+func xemacsModel() *Model {
+	return &Model{
+		StartupPath: []Site{O(xemPCInit), R(xemPCElcRead), R(xemPCElcRead)},
+		BulkSite:    R(xemPCElcRead),
+		StartupBulk: 1500,
+		StartupFD:   3,
+		Helpers: []Helper{
+			{ // compile/grep subprocess, present in some sessions
+				StartupPath: []Site{O(xemPCSubProc), R(xemPCSubBulk)},
+				BulkSite:    R(xemPCSubBulk),
+				StartupBulk: 20,
+				FD:          3,
+				AssistPath:  []Site{R(xemPCSubProc), R(xemPCSubBulk)},
+				AssistBulk:  60,
+				Prob:        0.45,
+			},
+		},
+		Kinds: []Kind{
+			{
+				Name:        "open-file", // the multi-file open loop
+				Path:        []Site{O(xemPCFileOpen), R(xemPCFileRead)},
+				FD:          4,
+				BulkSite:    R(xemPCFileRead),
+				Bulk:        75,
+				BulkQuick:   30,
+				DirtySite:   W(xemPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 5, WeightSettle: 1.2,
+			},
+			{
+				Name:        "edit", // type and think
+				Path:        []Site{R(xemPCTagsRead)},
+				FD:          4,
+				BulkSite:    R(xemPCTagsRead),
+				Bulk:        15,
+				BulkQuick:   6,
+				DirtySite:   W(xemPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 0.3, WeightSettle: 5,
+			},
+			{
+				Name: "save-as", // the paper's save-as aliasing case
+				// Writes go to the write-back cache; the disk sees the
+				// target open plus a read-back of the buffer.
+				Path:        []Site{O(xemPCFileOpen), W(xemPCSaveWr)},
+				FD:          5,
+				BulkSite:    R(xemPCFileRead),
+				Bulk:        20,
+				BulkQuick:   0, // ambiguous
+				DirtySite:   W(xemPCAutoSave),
+				Dirty:       2,
+				Helper:      -1,
+				WeightQuick: 0.3, WeightSettle: 0.9,
+			},
+			{
+				Name:        "dired", // browse a directory
+				Path:        []Site{R(xemPCDirScan)},
+				FD:          6,
+				BulkSite:    R(xemPCDirScan),
+				Bulk:        25,
+				BulkQuick:   10,
+				DirtySite:   W(xemPCAutoSave),
+				Dirty:       0,
+				Helper:      -1,
+				WeightQuick: 1, WeightSettle: 0.4,
+			},
+			{
+				Name:        "compile", // fires the subprocess when present
+				Path:        []Site{R(xemPCTagsRead), R(xemPCFileRead)},
+				FD:          4,
+				BulkSite:    R(xemPCFileRead),
+				Bulk:        30,
+				BulkQuick:   12,
+				DirtySite:   W(xemPCAutoSave),
+				Dirty:       0,
+				Helper:      0,
+				WeightQuick: 0.2, WeightSettle: 1.1,
+			},
+		},
+		EpisodesMin: 2, EpisodesMax: 3,
+		RunMin: 1, RunMax: 2,
+		RhythmWeights:  []float64{0.2, 0.8},
+		PChangeRhythm:  0.12,
+		PQuickMicro:    0,
+		PRestlessStart: 0.25, PersistPhase: 0.75,
+		PSettleShortCalm: 0.03, PSettleShortRestless: 0.25,
+		ShortLo: 1.4, ShortHi: 5.2,
+		LongBands:   [3][2]float64{{6.5, 10}, {10.3, 15.2}, {20, 1000}},
+		LongWeights: [3]float64{0.42, 0.02, 0.56},
+		ExitPath:    []Site{O(xemPCExitWr), W(xemPCExitWr)},
+		ExitFD:      5,
+		ExitDirty:   2,
+		ExitSite:    W(xemPCSaveWr),
+		IntraLo:     0.008, IntraHi: 0.035,
+	}
+}
