@@ -24,6 +24,35 @@ import (
 	"pcapsim/internal/workload"
 )
 
+// --- Full suite: serial vs parallel matrix -------------------------------
+
+// benchSuite regenerates the entire evaluation (all tables and figures)
+// from a cold suite. parallel == 0 is the fully serial reference;
+// parallel > 0 warms the matrix on that many workers first. Both paths
+// produce byte-identical output (see internal/experiments determinism
+// tests); the ratio of their wall-clocks is the engine's speedup.
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewDefaultSuite()
+		if parallel > 0 {
+			if err := s.RunMatrix(parallel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out, err := s.RenderAll(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) < 5000 {
+			b.Fatalf("implausibly short suite output (%d bytes)", len(out))
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 0) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 8) }
+
 // --- Tables ------------------------------------------------------------
 
 func BenchmarkTable1(b *testing.B) {

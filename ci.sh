@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Run before merging:
+#
+#   ./ci.sh          # build + vet + tests + race detector
+#   ./ci.sh quick    # build + vet + tests (skips the race pass)
+#
+# The race pass re-runs every test under the race detector — this is what
+# proves the parallel experiment engine (internal/experiments.RunMatrix,
+# internal/workload.TraceCache) is data-race free, so do not skip it when
+# touching the engine, the simulator, or the workload generators.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [[ "${1:-}" != "quick" ]]; then
+	# -short trims the differential determinism test to one worker count
+	# (the race detector is 5-20x slower and the full matrix blows the
+	# default 10m per-package budget on small machines); every concurrent
+	# code path still runs under the detector.
+	echo "== go test -race -short ./..."
+	go test -race -short -timeout 30m ./...
+fi
+
+echo "ci: all gates green"

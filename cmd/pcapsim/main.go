@@ -5,17 +5,24 @@
 //
 //	pcapsim -exp all
 //	pcapsim -exp fig7 -seed 42
-//	pcapsim -exp table1,fig6,fig8
+//	pcapsim -exp table1,fig6,fig8 -parallel 8
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
 // tpsweep, multistate, predictors, devices, prefetch, and "all".
+//
+// The evaluation matrix fans out across -parallel workers (default: one
+// per CPU). Output is deterministic: the same seed produces byte-identical
+// tables and figures at any worker count. Wall-clock is reported on
+// stderr so stdout stays byte-comparable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"pcapsim/internal/experiments"
 	"pcapsim/internal/sim"
@@ -23,18 +30,26 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments (table1,table2,table3,fig6,fig7,fig8,fig9,fig10,tpsweep,multistate,predictors,devices,prefetch,all)")
-		seedFlag = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
-		barsFlag = flag.Bool("bars", false, "render accuracy figures as stacked bars instead of tables")
+		expFlag      = flag.String("exp", "all", "comma-separated experiments (table1,table2,table3,fig6,fig7,fig8,fig9,fig10,tpsweep,multistate,predictors,devices,prefetch,all)")
+		seedFlag     = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
+		barsFlag     = flag.Bool("bars", false, "render accuracy figures as stacked bars instead of tables")
+		parallelFlag = flag.Int("parallel", runtime.NumCPU(), "worker count for the experiment matrix (1 = serial)")
 	)
 	flag.Parse()
+	if *parallelFlag < 1 {
+		*parallelFlag = 1
+	}
 
 	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())
 	if err != nil {
 		fatal(err)
 	}
 
-	order := []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "tpsweep", "multistate", "predictors", "devices", "prefetch"}
+	order := experiments.ExperimentNames()
+	known := map[string]bool{}
+	for _, o := range order {
+		known[o] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		e = strings.TrimSpace(strings.ToLower(e))
@@ -47,74 +62,35 @@ func main() {
 			}
 			continue
 		}
-		want[e] = true
-	}
-	known := map[string]bool{}
-	for _, o := range order {
-		known[o] = true
-	}
-	for e := range want {
 		if !known[e] {
 			fatal(fmt.Errorf("unknown experiment %q", e))
 		}
+		want[e] = true
+	}
+	var wanted []string
+	for _, e := range order {
+		if want[e] {
+			wanted = append(wanted, e)
+		}
 	}
 
-	for _, e := range order {
-		if !want[e] {
-			continue
+	start := time.Now()
+	if *parallelFlag > 1 {
+		// Warm every memoized cell in parallel; the serial rendering below
+		// then reads caches only, keeping output byte-identical to -parallel 1.
+		if err := suite.RunMatrix(*parallelFlag, wanted...); err != nil {
+			fatal(err)
 		}
-		out, err := run(suite, e, *barsFlag)
+	}
+	for _, e := range wanted {
+		out, err := suite.RenderExperiment(e, *barsFlag)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(out)
 	}
-}
-
-func run(s *experiments.Suite, exp string, bars bool) (string, error) {
-	renderAcc := func(f *experiments.AccuracyFigure, err error) (string, error) {
-		if err != nil {
-			return "", err
-		}
-		if bars {
-			return f.RenderBars(), nil
-		}
-		return f.Render(), nil
-	}
-	switch exp {
-	case "table1":
-		return s.RenderTable1()
-	case "table2":
-		return s.RenderTable2(), nil
-	case "table3":
-		return s.RenderTable3()
-	case "fig6":
-		return renderAcc(s.Fig6())
-	case "fig7":
-		return renderAcc(s.Fig7())
-	case "fig8":
-		f, err := s.Fig8()
-		if err != nil {
-			return "", err
-		}
-		return f.Render(), nil
-	case "fig9":
-		return renderAcc(s.Fig9())
-	case "fig10":
-		return renderAcc(s.Fig10())
-	case "tpsweep":
-		return s.RenderTPSweep()
-	case "multistate":
-		return s.RenderMultiState()
-	case "predictors":
-		return s.RenderPredictors()
-	case "devices":
-		return s.RenderDevices()
-	case "prefetch":
-		return s.RenderPrefetch()
-	default:
-		return "", fmt.Errorf("unknown experiment %q", exp)
-	}
+	fmt.Fprintf(os.Stderr, "pcapsim: %d experiment(s) in %s (parallel=%d)\n",
+		len(wanted), time.Since(start).Round(time.Millisecond), *parallelFlag)
 }
 
 func fatal(err error) {

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pcapsim/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from this run's output")
+
+// goldenPath is the full default-seed suite output, byte for byte.
+const goldenPath = "testdata/suite.golden"
+
+// renderFullSuite builds a fresh suite over the default seed and renders
+// every experiment. When parallel > 0 the evaluation matrix is warmed by
+// RunMatrix on that many workers first; parallel == 0 is the fully serial
+// reference path.
+func renderFullSuite(t testing.TB, parallel int) string {
+	t.Helper()
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel > 0 {
+		if err := s.RunMatrix(parallel); err != nil {
+			t.Fatalf("RunMatrix(%d): %v", parallel, err)
+		}
+	}
+	out, err := s.RenderAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// diffPosition locates the first byte where two renderings diverge and
+// formats a readable report around it.
+func diffPosition(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	line := 1
+	for _, c := range a[:i] {
+		if c == '\n' {
+			line++
+		}
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	ctx := func(s string) string {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return ""
+		}
+		return s[lo:hi]
+	}
+	return fmt.Sprintf("first divergence at byte %d (line %d):\n  a: %q\n  b: %q", i, line, ctx(a), ctx(b))
+}
+
+// TestDifferentialDeterminism is the engine's core contract: the full
+// suite rendered from the same seed is byte-identical whether the
+// evaluation matrix ran serially or across 1, 4 or 8 workers.
+func TestDifferentialDeterminism(t *testing.T) {
+	serial := renderFullSuite(t, 0)
+	if len(serial) < 5000 {
+		t.Fatalf("implausibly short suite output (%d bytes)", len(serial))
+	}
+	workerCounts := []int{1, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{8}
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		t.Run(fmt.Sprintf("parallel=%d", workers), func(t *testing.T) {
+			got := renderFullSuite(t, workers)
+			if got != serial {
+				t.Errorf("parallel=%d output differs from serial run\n%s", workers, diffPosition(serial, got))
+			}
+		})
+	}
+
+	t.Run("golden", func(t *testing.T) {
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath, []byte(serial), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", goldenPath, len(serial))
+			return
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with: go test ./internal/experiments -run TestDifferentialDeterminism -update)", err)
+		}
+		if serial != string(want) {
+			t.Errorf("suite output diverged from %s — if the workloads or renderers changed deliberately, rerun with -update\n%s",
+				goldenPath, diffPosition(string(want), serial))
+		}
+	})
+}
+
+// TestRunMatrixSharedCells checks that concurrent warming and direct
+// driver access observe the same memoized result objects — the matrix
+// never computes a cell twice.
+func TestRunMatrixSharedCells(t *testing.T) {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm one experiment's cells in parallel while racing direct Run
+	// calls for the same cells.
+	app := s.Apps()[4] // nedit: cheapest
+	var wg sync.WaitGroup
+	results := make([]*sim.AppResult, 8)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Run(app, s.PolicyTP())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != results[0] {
+			t.Errorf("caller %d got a distinct result object", i)
+		}
+	}
+}
+
+// TestTasksForUnknown rejects bad experiment names.
+func TestTasksForUnknown(t *testing.T) {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TasksFor("fig99"); err == nil {
+		t.Error("TasksFor(fig99) succeeded")
+	}
+	if err := s.RunMatrix(2, "nope"); err == nil {
+		t.Error("RunMatrix(nope) succeeded")
+	}
+}
+
+// TestTasksDeduplicate checks that experiments sharing cells enqueue them
+// once: fig6 and fig7 use the identical policy grid.
+func TestTasksDeduplicate(t *testing.T) {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := s.TasksFor("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := s.TasksFor("fig6", "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != len(one) {
+		t.Errorf("fig6+fig7 yields %d tasks, fig6 alone %d — grids should fully dedupe", len(both), len(one))
+	}
+	seen := map[string]bool{}
+	for _, task := range both {
+		if seen[task.Name] {
+			t.Errorf("duplicate task %s", task.Name)
+		}
+		seen[task.Name] = true
+	}
+}

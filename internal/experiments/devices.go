@@ -5,6 +5,7 @@ import (
 
 	"pcapsim/internal/core"
 	"pcapsim/internal/disk"
+	"pcapsim/internal/sim"
 )
 
 // DeviceRow is one device profile's across-application results under the
@@ -22,6 +23,27 @@ type DeviceRow struct {
 	PCAPMiss float64
 }
 
+// deviceSuite returns the memoized per-device sub-suite. A sub-suite
+// keeps memoization and predictor breakeven configuration consistent with
+// the device, while sharing the parent's trace cache: traces are device
+// independent, so they are generated once for all devices.
+func (s *Suite) deviceSuite(dev disk.Params) (*Suite, error) {
+	v, err := s.memo.do("devsuite/"+dev.Name, func() (any, error) {
+		cfg := s.cfg
+		cfg.Disk = dev
+		return newSharedSuite(s.seed, cfg, s.traces)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Suite), nil
+}
+
+// devicePolicies are the policies evaluated per device.
+func (s *Suite) devicePolicies() []sim.Policy {
+	return []sim.Policy{s.PolicyBase(), s.PolicyTP(), s.PolicyPCAP(core.VariantBase), s.PolicyIdeal()}
+}
+
 // DevicesExperiment evaluates the predictors across device classes (the
 // paper's §1 claim that the technique transfers to other I/O devices such
 // as wireless interfaces). The breakeven time is the knob that moves: a
@@ -31,20 +53,10 @@ type DeviceRow struct {
 func (s *Suite) DevicesExperiment() ([]DeviceRow, error) {
 	var rows []DeviceRow
 	for _, dev := range disk.Devices() {
-		cfg := s.cfg
-		cfg.Disk = dev
-		// A per-device Suite keeps memoization and predictor breakeven
-		// configuration consistent with the device.
-		ds, err := NewSuite(s.seed, cfg)
+		ds, err := s.deviceSuite(dev)
 		if err != nil {
 			return nil, err
 		}
-		// Share the generated traces: they are device independent.
-		ds.mu.Lock()
-		for k, v := range s.traces {
-			ds.traces[k] = v
-		}
-		ds.mu.Unlock()
 
 		row := DeviceRow{Device: dev.Name, Breakeven: dev.Breakeven.Seconds()}
 		n := 0

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/disk"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/workload"
+)
+
+// The parallel experiment engine.
+//
+// Every result in the suite is memoized behind a singleflight cache keyed
+// by a deterministic name, and every experiment decomposes into Tasks that
+// do nothing but warm those caches. RunMatrix fans the tasks across a
+// worker pool; the renderers then read exclusively from warm caches in a
+// fixed serial order. Because each task is a pure function of (seed,
+// config) and tasks share no mutable state, the rendered output is
+// byte-identical at any worker count — same seed, same bytes, whether the
+// suite ran serially or on every core.
+
+// memo is a singleflight-style result cache: the first caller of a key
+// computes it, concurrent callers of the same key block on that
+// computation, and every caller observes the same value and error.
+type memo struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// do returns the memoized value for key, computing it with fn on first
+// use. fn runs exactly once per key even under concurrent callers.
+func (c *memo) do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry)
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Task is one memoizable unit of the evaluation matrix — typically one
+// (application, policy) simulation cell, a trace generation, or one
+// derived per-application experiment row.
+type Task struct {
+	// Name identifies the unit ("run/mozilla/PCAP", "traces/nedit", …).
+	Name string
+	run  func() error
+}
+
+// ExperimentNames returns every experiment in the canonical order the CLI
+// renders them.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table2", "table3",
+		"fig6", "fig7", "fig8", "fig9", "fig10",
+		"tpsweep", "multistate", "predictors", "devices", "prefetch",
+	}
+}
+
+// taskList accumulates tasks, deduplicating by name so experiments that
+// share cells (e.g. every figure's Base runs) enqueue them once.
+type taskList struct {
+	seen  map[string]bool
+	tasks []Task
+}
+
+func (l *taskList) add(name string, run func() error) {
+	if l.seen == nil {
+		l.seen = make(map[string]bool)
+	}
+	if l.seen[name] {
+		return
+	}
+	l.seen[name] = true
+	l.tasks = append(l.tasks, Task{Name: name, run: run})
+}
+
+// addRun enqueues one simulation cell on suite target (the main suite or a
+// per-device sub-suite, disambiguated by prefix).
+func (l *taskList) addRun(prefix string, target *Suite, app *workload.App, pol sim.Policy) {
+	l.add(prefix+"run/"+app.Name+"/"+pol.Name, func() error {
+		_, err := target.Run(app, pol)
+		return err
+	})
+}
+
+// Tasks returns the full evaluation matrix: every cell of every
+// experiment, deduplicated, in deterministic order.
+func (s *Suite) Tasks() ([]Task, error) { return s.TasksFor(ExperimentNames()...) }
+
+// TasksFor returns the cells needed by the named experiments. Trace
+// generation tasks come first so a worker pool warms all six applications'
+// traces concurrently before the simulation cells need them.
+func (s *Suite) TasksFor(exps ...string) ([]Task, error) {
+	known := make(map[string]bool)
+	for _, e := range ExperimentNames() {
+		known[e] = true
+	}
+	var l taskList
+	needsTraces := false
+	for _, e := range exps {
+		if !known[e] {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", e)
+		}
+		if e != "table2" {
+			needsTraces = true
+		}
+	}
+	if needsTraces {
+		for _, app := range s.Apps() {
+			app := app
+			l.add("traces/"+app.Name, func() error {
+				s.Traces(app)
+				return nil
+			})
+		}
+	}
+	for _, e := range exps {
+		if err := s.appendTasks(&l, e); err != nil {
+			return nil, err
+		}
+	}
+	return l.tasks, nil
+}
+
+// appendTasks enqueues one experiment's cells.
+func (s *Suite) appendTasks(l *taskList, exp string) error {
+	grid := func(pols []sim.Policy) {
+		for _, app := range s.Apps() {
+			for _, p := range pols {
+				l.addRun("", s, app, p)
+			}
+		}
+	}
+	perApp := func(kind string, run func(app *workload.App) error) {
+		for _, app := range s.Apps() {
+			app := app
+			l.add(kind+"/"+app.Name, func() error { return run(app) })
+		}
+	}
+	switch exp {
+	case "table1":
+		grid([]sim.Policy{s.PolicyBase()})
+	case "table2":
+		// Pure configuration rendering: nothing to simulate.
+	case "table3":
+		grid(s.table3Policies())
+	case "fig6", "fig7":
+		grid(s.fig67Policies())
+	case "fig8":
+		grid(s.fig8Policies())
+	case "fig9":
+		grid(s.fig9Policies())
+	case "fig10":
+		grid(s.fig10Policies())
+	case "tpsweep":
+		pols := []sim.Policy{s.PolicyBase()}
+		pols = append(pols, s.tpSweepPolicies()...)
+		grid(pols)
+	case "multistate":
+		grid([]sim.Policy{s.PolicyBase(), s.PolicyPCAP(core.VariantBase)})
+		perApp("multistate", func(app *workload.App) error {
+			_, err := s.multiStateRow(app)
+			return err
+		})
+	case "predictors":
+		grid(append([]sim.Policy{s.PolicyBase()}, s.predictorPolicies()...))
+	case "devices":
+		for _, dev := range disk.Devices() {
+			ds, err := s.deviceSuite(dev)
+			if err != nil {
+				return err
+			}
+			for _, app := range ds.Apps() {
+				for _, p := range ds.devicePolicies() {
+					l.addRun("dev/"+dev.Name+"/", ds, app, p)
+				}
+			}
+		}
+	case "prefetch":
+		perApp("prefetch", func(app *workload.App) error {
+			_, err := s.prefetchRow(app)
+			return err
+		})
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// RunMatrix fans the evaluation matrix of the named experiments (all of
+// them when none are given) across parallel workers, warming every
+// memoized cell. parallel < 1 selects GOMAXPROCS. The subsequent
+// renderers read the warm caches serially, so output is byte-identical to
+// a fully serial run.
+func (s *Suite) RunMatrix(parallel int, exps ...string) error {
+	if len(exps) == 0 {
+		exps = ExperimentNames()
+	}
+	tasks, err := s.TasksFor(exps...)
+	if err != nil {
+		return err
+	}
+	return RunTasks(tasks, parallel)
+}
+
+// RunTasks executes tasks on a pool of parallel workers and returns the
+// first error in task order (deterministic regardless of which worker hit
+// it first).
+func RunTasks(tasks []Task, parallel int) error {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(tasks) {
+		parallel = len(tasks)
+	}
+	if parallel <= 1 {
+		for _, t := range tasks {
+			if err := t.run(); err != nil {
+				return fmt.Errorf("experiments: task %s: %w", t.Name, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = tasks[i].run()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("experiments: task %s: %w", tasks[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// RenderExperiment renders one named experiment as text. Accuracy figures
+// render as stacked bars instead of tables when bars is set.
+func (s *Suite) RenderExperiment(name string, bars bool) (string, error) {
+	renderAcc := func(f *AccuracyFigure, err error) (string, error) {
+		if err != nil {
+			return "", err
+		}
+		if bars {
+			return f.RenderBars(), nil
+		}
+		return f.Render(), nil
+	}
+	switch name {
+	case "table1":
+		return s.RenderTable1()
+	case "table2":
+		return s.RenderTable2(), nil
+	case "table3":
+		return s.RenderTable3()
+	case "fig6":
+		return renderAcc(s.Fig6())
+	case "fig7":
+		return renderAcc(s.Fig7())
+	case "fig8":
+		f, err := s.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	case "fig9":
+		return renderAcc(s.Fig9())
+	case "fig10":
+		return renderAcc(s.Fig10())
+	case "tpsweep":
+		return s.RenderTPSweep()
+	case "multistate":
+		return s.RenderMultiState()
+	case "predictors":
+		return s.RenderPredictors()
+	case "devices":
+		return s.RenderDevices()
+	case "prefetch":
+		return s.RenderPrefetch()
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+}
+
+// RenderAll renders the named experiments (all of them when none are
+// given) in canonical order, separated by blank lines — the CLI's full
+// output and the differential determinism test's unit of comparison.
+func (s *Suite) RenderAll(bars bool, names ...string) (string, error) {
+	if len(names) == 0 {
+		names = ExperimentNames()
+	}
+	var b strings.Builder
+	for _, name := range names {
+		out, err := s.RenderExperiment(name, bars)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

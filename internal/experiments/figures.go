@@ -94,38 +94,49 @@ func (a *avgAcc) mean() sim.Fractions {
 	}
 }
 
+// fig67Policies are Figures 6 and 7's bars: TP, LT and PCAP.
+func (s *Suite) fig67Policies() []sim.Policy {
+	return []sim.Policy{s.PolicyTP(), s.PolicyLT(), s.PolicyPCAP(core.VariantBase)}
+}
+
+// fig9Policies are Figure 9's bars: the PCAP optimization variants.
+func (s *Suite) fig9Policies() []sim.Policy {
+	return []sim.Policy{
+		s.PolicyPCAP(core.VariantBase), s.PolicyPCAP(core.VariantH),
+		s.PolicyPCAP(core.VariantF), s.PolicyPCAP(core.VariantFH),
+	}
+}
+
+// fig10Policies are Figure 10's bars: table reuse vs discard.
+func (s *Suite) fig10Policies() []sim.Policy {
+	return []sim.Policy{
+		s.PolicyPCAP(core.VariantBase), s.PolicyPCAPa(),
+		s.PolicyLT(), s.PolicyLTa(),
+	}
+}
+
 // Fig6 reproduces Figure 6: local shutdown predictor accuracy for TP, LT
 // and PCAP.
 func (s *Suite) Fig6() (*AccuracyFigure, error) {
-	return s.accuracyFigure("Figure 6: local shutdown predictor",
-		[]sim.Policy{s.PolicyTP(), s.PolicyLT(), s.PolicyPCAP(core.VariantBase)}, true)
+	return s.accuracyFigure("Figure 6: local shutdown predictor", s.fig67Policies(), true)
 }
 
 // Fig7 reproduces Figure 7: global shutdown predictor accuracy for TP, LT
 // and PCAP.
 func (s *Suite) Fig7() (*AccuracyFigure, error) {
-	return s.accuracyFigure("Figure 7: global shutdown predictor",
-		[]sim.Policy{s.PolicyTP(), s.PolicyLT(), s.PolicyPCAP(core.VariantBase)}, false)
+	return s.accuracyFigure("Figure 7: global shutdown predictor", s.fig67Policies(), false)
 }
 
 // Fig9 reproduces Figure 9: PCAP optimizations (history, file descriptor),
 // global predictor, with primary/backup splits.
 func (s *Suite) Fig9() (*AccuracyFigure, error) {
-	return s.accuracyFigure("Figure 9: predictor optimizations",
-		[]sim.Policy{
-			s.PolicyPCAP(core.VariantBase), s.PolicyPCAP(core.VariantH),
-			s.PolicyPCAP(core.VariantF), s.PolicyPCAP(core.VariantFH),
-		}, false)
+	return s.accuracyFigure("Figure 9: predictor optimizations", s.fig9Policies(), false)
 }
 
 // Fig10 reproduces Figure 10: prediction-table reuse (PCAP vs PCAPa, LT
 // vs LTa), global predictor, with primary/backup splits.
 func (s *Suite) Fig10() (*AccuracyFigure, error) {
-	return s.accuracyFigure("Figure 10: predictor table reuse",
-		[]sim.Policy{
-			s.PolicyPCAP(core.VariantBase), s.PolicyPCAPa(),
-			s.PolicyLT(), s.PolicyLTa(),
-		}, false)
+	return s.accuracyFigure("Figure 10: predictor table reuse", s.fig10Policies(), false)
 }
 
 // Render renders an accuracy figure as text, one row per (app, policy),

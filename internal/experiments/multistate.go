@@ -6,6 +6,7 @@ import (
 	"pcapsim/internal/core"
 	"pcapsim/internal/predictor"
 	"pcapsim/internal/sim"
+	"pcapsim/internal/workload"
 )
 
 // MultiStateRow compares PCAP's energy with and without the paper's
@@ -24,17 +25,29 @@ type MultiStateRow struct {
 // drives of the period).
 const DefaultLowPowerIdleWatts = 0.55
 
-// MultiState runs the extension experiment.
-func (s *Suite) MultiState() ([]MultiStateRow, error) {
-	cfg := s.cfg
-	cfg.Disk = cfg.Disk.WithLowPowerIdle(DefaultLowPowerIdleWatts)
-	cfg.LowPowerWaitWindow = true
-	runner, err := sim.NewRunner(cfg)
+// lowPowerRunner returns the memoized runner configured with the
+// intermediate low-power idle state.
+func (s *Suite) lowPowerRunner() (*sim.Runner, error) {
+	v, err := s.memo.do("multistate/runner", func() (any, error) {
+		cfg := s.cfg
+		cfg.Disk = cfg.Disk.WithLowPowerIdle(DefaultLowPowerIdleWatts)
+		cfg.LowPowerWaitWindow = true
+		return sim.NewRunner(cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	var rows []MultiStateRow
-	for _, app := range s.Apps() {
+	return v.(*sim.Runner), nil
+}
+
+// multiStateRow computes one application's row, memoized so matrix
+// workers and the driver share the simulation.
+func (s *Suite) multiStateRow(app *workload.App) (MultiStateRow, error) {
+	v, err := s.memo.do("multistate/"+app.Name, func() (any, error) {
+		runner, err := s.lowPowerRunner()
+		if err != nil {
+			return nil, err
+		}
 		base, err := s.Run(app, s.PolicyBase())
 		if err != nil {
 			return nil, err
@@ -56,6 +69,22 @@ func (s *Suite) MultiState() ([]MultiStateRow, error) {
 		if bt > 0 {
 			row.SavedPlain = 1 - plain.Energy.Total()/bt
 			row.SavedMulti = 1 - multi.Energy.Total()/bt
+		}
+		return row, nil
+	})
+	if err != nil {
+		return MultiStateRow{}, err
+	}
+	return v.(MultiStateRow), nil
+}
+
+// MultiState runs the extension experiment.
+func (s *Suite) MultiState() ([]MultiStateRow, error) {
+	var rows []MultiStateRow
+	for _, app := range s.Apps() {
+		row, err := s.multiStateRow(app)
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, row)
 	}

@@ -53,11 +53,9 @@ func (s *Suite) PolicyAdaptiveTimeout() sim.Policy {
 	}
 }
 
-// Predictors compares every shutdown predictor in the repository — the
-// paper's three (TP, LT, PCAP with variants) plus the Section 2
-// related-work policies — on global accuracy and energy.
-func (s *Suite) Predictors() ([]PredictorRow, error) {
-	policies := []sim.Policy{
+// predictorPolicies are the comparison's rows in render order.
+func (s *Suite) predictorPolicies() []sim.Policy {
+	return []sim.Policy{
 		s.PolicyTP(),
 		s.PolicyAdaptiveTimeout(),
 		s.PolicyExpAverage(),
@@ -67,6 +65,13 @@ func (s *Suite) Predictors() ([]PredictorRow, error) {
 		s.PolicyPCAP(core.VariantFH),
 		s.PolicyIdeal(),
 	}
+}
+
+// Predictors compares every shutdown predictor in the repository — the
+// paper's three (TP, LT, PCAP with variants) plus the Section 2
+// related-work policies — on global accuracy and energy.
+func (s *Suite) Predictors() ([]PredictorRow, error) {
+	policies := s.predictorPolicies()
 	var rows []PredictorRow
 	for _, pol := range policies {
 		row := PredictorRow{Policy: pol.Name}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcapsim/internal/prefetch"
+	"pcapsim/internal/workload"
 )
 
 // PrefetchRow is one application's readahead comparison: demand-fetch
@@ -24,12 +25,10 @@ const prefetchCacheBlocks = 256
 // prefetchDegree is how many blocks a confident stream fetches ahead.
 const prefetchDegree = 8
 
-// Prefetch evaluates the paper's §7 prefetching direction on every
-// application: per-PC stream contexts against a PC-blind sequential
-// readahead.
-func (s *Suite) Prefetch() ([]PrefetchRow, error) {
-	var rows []PrefetchRow
-	for _, app := range s.Apps() {
+// prefetchRow evaluates one application's readahead comparison, memoized
+// so matrix workers and the driver share the evaluation.
+func (s *Suite) prefetchRow(app *workload.App) (PrefetchRow, error) {
+	v, err := s.memo.do("prefetch/"+app.Name, func() (any, error) {
 		traces := s.Traces(app)
 		base, err := prefetch.Evaluate(traces, prefetchCacheBlocks, prefetch.None{})
 		if err != nil {
@@ -43,12 +42,30 @@ func (s *Suite) Prefetch() ([]PrefetchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, PrefetchRow{
+		return PrefetchRow{
 			App:      app.Name,
 			BaseMiss: base.MissRate(),
 			Global:   global,
 			PC:       pc,
-		})
+		}, nil
+	})
+	if err != nil {
+		return PrefetchRow{}, err
+	}
+	return v.(PrefetchRow), nil
+}
+
+// Prefetch evaluates the paper's §7 prefetching direction on every
+// application: per-PC stream contexts against a PC-blind sequential
+// readahead.
+func (s *Suite) Prefetch() ([]PrefetchRow, error) {
+	var rows []PrefetchRow
+	for _, app := range s.Apps() {
+		row, err := s.prefetchRow(app)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

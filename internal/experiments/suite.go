@@ -7,7 +7,6 @@ package experiments
 import (
 	"bytes"
 	"fmt"
-	"sync"
 
 	"pcapsim/internal/core"
 	"pcapsim/internal/ltree"
@@ -25,29 +24,42 @@ const DefaultSeed uint64 = 20040214 // HPCA-10 opened February 14, 2004
 // Suite generates workloads once and runs policies over them, memoizing
 // per-(app, policy) results so that figures sharing runs (6/7, 8, 9, 10)
 // do not recompute them.
+//
+// A Suite is safe for concurrent use: trace generation and every result
+// computation sit behind singleflight caches (see engine.go), so
+// RunMatrix can fan the evaluation matrix across workers while the
+// renderers keep reading memoized values.
 type Suite struct {
 	seed   uint64
 	cfg    sim.Config
 	runner *sim.Runner
 
-	mu      sync.Mutex
-	traces  map[string][]*trace.Trace
-	results map[string]*sim.AppResult
+	// traces memoizes per-(app, seed) generated traces; device sub-suites
+	// share it with their parent, since traces are device independent.
+	traces *workload.TraceCache
+	// memo memoizes every derived result: simulation cells, per-app
+	// experiment rows, and per-device sub-suites.
+	memo memo
 }
 
 // NewSuite returns a Suite over the given workload seed and simulator
 // configuration.
 func NewSuite(seed uint64, cfg sim.Config) (*Suite, error) {
+	return newSharedSuite(seed, cfg, workload.NewTraceCache())
+}
+
+// newSharedSuite builds a Suite around an existing trace cache, so
+// derived suites (the per-device sub-suites) reuse generated traces.
+func newSharedSuite(seed uint64, cfg sim.Config, traces *workload.TraceCache) (*Suite, error) {
 	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Suite{
-		seed:    seed,
-		cfg:     cfg,
-		runner:  r,
-		traces:  make(map[string][]*trace.Trace),
-		results: make(map[string]*sim.AppResult),
+		seed:   seed,
+		cfg:    cfg,
+		runner: r,
+		traces: traces,
 	}, nil
 }
 
@@ -70,35 +82,27 @@ func (s *Suite) Seed() uint64 { return s.seed }
 // Apps returns the paper's six applications.
 func (s *Suite) Apps() []*workload.App { return workload.Apps() }
 
-// Traces returns (and caches) all execution traces of app.
+// Traces returns (and caches) all execution traces of app. The slice is
+// shared read-only across every policy run: traces are replayed, never
+// mutated.
 func (s *Suite) Traces(app *workload.App) []*trace.Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ts, ok := s.traces[app.Name]; ok {
-		return ts
-	}
-	ts := app.Traces(s.seed)
-	s.traces[app.Name] = ts
-	return ts
+	return s.traces.Traces(app, s.seed)
 }
 
-// Run simulates app under pol, memoized by (app, policy name).
+// Run simulates app under pol, memoized by (app, policy name). Concurrent
+// callers of the same cell block on one simulation and share its result.
 func (s *Suite) Run(app *workload.App, pol sim.Policy) (*sim.AppResult, error) {
-	key := app.Name + "/" + pol.Name
-	s.mu.Lock()
-	if res, ok := s.results[key]; ok {
-		s.mu.Unlock()
+	v, err := s.memo.do("run/"+app.Name+"/"+pol.Name, func() (any, error) {
+		res, err := s.runner.RunApp(s.Traces(app), pol)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: %w", app.Name, pol.Name, err)
+		}
 		return res, nil
-	}
-	s.mu.Unlock()
-	res, err := s.runner.RunApp(s.Traces(app), pol)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s under %s: %w", app.Name, pol.Name, err)
+		return nil, err
 	}
-	s.mu.Lock()
-	s.results[key] = res
-	s.mu.Unlock()
-	return res, nil
+	return v.(*sim.AppResult), nil
 }
 
 // --- Standard policies -----------------------------------------------

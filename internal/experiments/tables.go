@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcapsim/internal/core"
+	"pcapsim/internal/sim"
 )
 
 // Table1Row is one application's execution details (the paper's Table 1).
@@ -76,6 +77,15 @@ type Table3Row struct {
 
 // table3Variants are the columns of Table 3.
 var table3Variants = []core.Variant{core.VariantBase, core.VariantH, core.VariantF, core.VariantFH}
+
+// table3Policies are Table 3's runs, one per PCAP variant.
+func (s *Suite) table3Policies() []sim.Policy {
+	pols := make([]sim.Policy, len(table3Variants))
+	for i, v := range table3Variants {
+		pols[i] = s.PolicyPCAP(v)
+	}
+	return pols
+}
 
 // Table3 reproduces the paper's Table 3: prediction-table entries per
 // application for every PCAP variant after all executions.

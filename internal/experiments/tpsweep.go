@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"pcapsim/internal/sim"
 	"pcapsim/internal/trace"
 )
 
@@ -21,13 +22,27 @@ type TPSweepRow struct {
 // paper's 5.43 s and 10 s points.
 var TPSweepTimeouts = []float64{1, 2, 5.43, 10, 20, 30, 60}
 
+// tpSweepPolicy is the sweep's policy for one timer value; the engine and
+// the driver must agree on the name for memoized cells to be shared.
+func (s *Suite) tpSweepPolicy(sec float64) sim.Policy {
+	return s.PolicyTPWith(fmt.Sprintf("TP%.4gs", sec), trace.FromSeconds(sec))
+}
+
+// tpSweepPolicies are all swept timeout policies in sweep order.
+func (s *Suite) tpSweepPolicies() []sim.Policy {
+	pols := make([]sim.Policy, len(TPSweepTimeouts))
+	for i, sec := range TPSweepTimeouts {
+		pols[i] = s.tpSweepPolicy(sec)
+	}
+	return pols
+}
+
 // TPSweep evaluates the timeout predictor across timer values.
 func (s *Suite) TPSweep() ([]TPSweepRow, error) {
 	var rows []TPSweepRow
 	for _, sec := range TPSweepTimeouts {
-		timeout := trace.FromSeconds(sec)
-		pol := s.PolicyTPWith(fmt.Sprintf("TP%.4gs", sec), timeout)
-		row := TPSweepRow{Timeout: timeout}
+		pol := s.tpSweepPolicy(sec)
+		row := TPSweepRow{Timeout: trace.FromSeconds(sec)}
 		n := 0
 		for _, app := range s.Apps() {
 			base, err := s.Run(app, s.PolicyBase())

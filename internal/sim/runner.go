@@ -126,6 +126,16 @@ type PeriodRecord struct {
 }
 
 // Runner executes policies over application traces.
+//
+// A Runner is safe for concurrent RunApp calls: cfg is immutable after
+// construction and all per-run state lives in the per-call execution and
+// AppResult (the file cache is built inside prepare, and traces are read
+// only — events are copied by value into the access stream). The parallel
+// experiment engine (internal/experiments.RunMatrix) relies on this.
+// The one caveat is PeriodHook: it fires synchronously on the goroutine
+// calling RunApp, so a hook installed on a shared Runner must itself be
+// safe for concurrent use (set it before the first RunApp; the hook is a
+// serial debugging aid and the experiment engine never installs one).
 type Runner struct {
 	cfg Config
 	// PeriodHook, if non-nil, receives a record for every evaluated

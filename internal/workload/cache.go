@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pcapsim/internal/trace"
+)
+
+// TraceCache memoizes generated execution traces per (application, seed).
+// Generation is deterministic — App.Trace is a pure function of
+// (seed, execution index) — so the cached slice can be shared read-only by
+// any number of concurrent policy runs: traces are replayed, never
+// mutated.
+//
+// The cache is safe for concurrent use. For each (app, seed) pair
+// generation runs exactly once; concurrent callers block on the first
+// generation and all receive the identical slice. Distinct seeds never
+// share an entry.
+type TraceCache struct {
+	mu   sync.Mutex
+	m    map[traceKey]*traceEntry
+	gens atomic.Int64
+}
+
+type traceKey struct {
+	app  string
+	seed uint64
+}
+
+type traceEntry struct {
+	once   sync.Once
+	traces []*trace.Trace
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{m: make(map[traceKey]*traceEntry)}
+}
+
+// Traces returns all execution traces of app for seed, generating them on
+// first use. The returned slice is shared: callers must treat it (and the
+// traces it holds) as read-only.
+func (c *TraceCache) Traces(app *App, seed uint64) []*trace.Trace {
+	c.mu.Lock()
+	key := traceKey{app: app.Name, seed: seed}
+	e, ok := c.m[key]
+	if !ok {
+		e = &traceEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.gens.Add(1)
+		e.traces = app.Traces(seed)
+	})
+	return e.traces
+}
+
+// Generations reports how many trace generations have actually run — one
+// per distinct (app, seed) pair requested, regardless of caller count.
+func (c *TraceCache) Generations() int64 { return c.gens.Load() }
+
+// Len returns the number of (app, seed) entries in the cache.
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
