@@ -11,6 +11,7 @@ package pcapsim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pcapsim/internal/classic"
@@ -523,6 +524,91 @@ func BenchmarkClassicOnAccess(b *testing.B) {
 		})
 	}
 }
+
+// --- Streaming pipeline ---------------------------------------------------
+
+// BenchmarkRunAppMaterialized / BenchmarkRunAppStreaming compare the two
+// ends of the pipeline: generating a whole workload into memory and
+// simulating the slice, versus streaming executions one at a time through
+// RunSource with a recycled buffer. Each iteration includes generation,
+// so -benchmem shows the allocation gap between the paths.
+func BenchmarkRunAppMaterialized(b *testing.B) {
+	app, _ := workload.ByName("nedit")
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traces := app.Traces(experiments.DefaultSeed)
+		pol := pcapPolicy(core.DefaultConfig(core.VariantBase))
+		if _, err := runner.RunApp(traces, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAppStreaming(b *testing.B) {
+	app, _ := workload.ByName("nedit")
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := pcapPolicy(core.DefaultConfig(core.VariantBase))
+		if _, err := runner.RunSource(app.Stream(experiments.DefaultSeed), pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScalePeak measures the peak live heap while simulating an
+// N×-scaled workload, sampled via the runner's period hook (a GC before
+// each sample leaves only reachable memory). Materialized runs pin the
+// whole scaled workload; streaming runs hold one execution — so the
+// streaming peak stays flat as the scale grows.
+func benchScalePeak(b *testing.B, scale int, streaming bool) {
+	b.Helper()
+	app, _ := workload.ByName("nedit")
+	for i := 0; i < b.N; i++ {
+		runner := sim.MustNewRunner(sim.DefaultConfig())
+		var peak uint64
+		period := 0
+		runner.PeriodHook = func(sim.PeriodRecord) {
+			period++
+			if period%128 != 1 {
+				return
+			}
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+		pol := pcapPolicy(core.DefaultConfig(core.VariantBase))
+		src := trace.Scale(app.Stream(experiments.DefaultSeed), scale)
+		if streaming {
+			if _, err := runner.RunSource(src, pol); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			traces, err := trace.Collect(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := runner.RunApp(traces, pol); err != nil {
+				b.Fatal(err)
+			}
+			runtime.KeepAlive(traces)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(peak)/1024, "peak-heap-KB")
+		}
+	}
+}
+
+func BenchmarkScalePeakMaterialized1(b *testing.B)  { benchScalePeak(b, 1, false) }
+func BenchmarkScalePeakMaterialized10(b *testing.B) { benchScalePeak(b, 10, false) }
+func BenchmarkScalePeakStreaming1(b *testing.B)     { benchScalePeak(b, 1, true) }
+func BenchmarkScalePeakStreaming10(b *testing.B)    { benchScalePeak(b, 10, true) }
 
 func BenchmarkPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -11,6 +11,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== gofmt -l"
+fmt_out="$(gofmt -l .)"
+if [[ -n "$fmt_out" ]]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -22,9 +30,11 @@ go test ./...
 
 if [[ "${1:-}" != "quick" ]]; then
 	# -short trims the differential determinism test to one worker count
+	# and the streaming differential test to a reduced app × policy matrix
 	# (the race detector is 5-20x slower and the full matrix blows the
 	# default 10m per-package budget on small machines); every concurrent
-	# code path still runs under the detector.
+	# code path — including the streamed RunSource pipeline — still runs
+	# under the detector.
 	echo "== go test -race -short ./..."
 	go test -race -short -timeout 30m ./...
 fi

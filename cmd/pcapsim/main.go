@@ -34,16 +34,23 @@ func main() {
 		seedFlag     = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
 		barsFlag     = flag.Bool("bars", false, "render accuracy figures as stacked bars instead of tables")
 		parallelFlag = flag.Int("parallel", runtime.NumCPU(), "worker count for the experiment matrix (1 = serial)")
+		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
+		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
 	)
 	flag.Parse()
 	if *parallelFlag < 1 {
 		*parallelFlag = 1
+	}
+	if *scaleFlag < 1 {
+		fatal(fmt.Errorf("-scale must be at least 1, got %d", *scaleFlag))
 	}
 
 	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())
 	if err != nil {
 		fatal(err)
 	}
+	suite.SetScale(*scaleFlag)
+	suite.SetOnDemand(*onDemandFlag)
 
 	order := experiments.ExperimentNames()
 	known := map[string]bool{}

@@ -1,6 +1,10 @@
 // Command tracegen generates the synthetic application traces used by the
 // experiments and writes them to disk, one file per execution.
 //
+// Generation streams: executions are produced one at a time into a
+// recycled buffer and written through the streaming encoder, so peak
+// memory is one execution regardless of workload size.
+//
 // Usage:
 //
 //	tracegen -app mozilla -out traces/            # all executions, binary
@@ -47,41 +51,58 @@ func main() {
 	}
 
 	for _, a := range apps {
-		lo, hi := 0, a.Executions
-		if *execFlag >= 0 {
-			if *execFlag >= a.Executions {
-				fatal(fmt.Errorf("%s has %d executions; -exec %d out of range", a.Name, a.Executions, *execFlag))
-			}
-			lo, hi = *execFlag, *execFlag+1
+		if *execFlag >= a.Executions {
+			fatal(fmt.Errorf("%s has %d executions; -exec %d out of range", a.Name, a.Executions, *execFlag))
 		}
-		for exec := lo; exec < hi; exec++ {
-			tr := a.Trace(*seedFlag, exec)
+		src := a.Stream(*seedFlag)
+		for {
+			app, exec, ok := src.NextExec()
+			if !ok {
+				break
+			}
+			// The stream's recycled buffer holds the execution; borrow it
+			// instead of copying.
+			events := src.ExecEvents()
+			if *execFlag >= 0 && exec != *execFlag {
+				continue
+			}
 			ext := "pctr"
 			if *formatFlag == "text" {
 				ext = "txt"
 			}
-			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%03d.%s", a.Name, exec, ext))
-			if err := writeTrace(path, tr, *formatFlag); err != nil {
+			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%03d.%s", app, exec, ext))
+			if err := writeTrace(path, app, exec, events, *formatFlag); err != nil {
 				fatal(err)
 			}
+			view := trace.Trace{App: app, Execution: exec, Events: events}
 			fmt.Printf("%s: %d events, %d I/Os, %.1f s\n",
-				path, tr.Len(), tr.IOCount(), tr.Duration().Seconds())
+				path, view.Len(), view.IOCount(), view.Duration().Seconds())
 		}
 	}
 }
 
-func writeTrace(path string, tr *trace.Trace, format string) error {
+func writeTrace(path, app string, exec int, events []trace.Event, format string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	if format == "text" {
-		if err := trace.WriteText(f, tr); err != nil {
+		view := &trace.Trace{App: app, Execution: exec, Events: events}
+		if err := trace.WriteText(f, view); err != nil {
 			return err
 		}
 	} else {
-		if err := trace.WriteBinary(f, tr); err != nil {
+		enc, err := trace.NewEncoder(f, app, exec, len(events))
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			if err := enc.Write(e); err != nil {
+				return err
+			}
+		}
+		if err := enc.Close(); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,11 @@
 // counts, per-process activity, idle-period structure at a given
 // breakeven, and optionally the first events in text form.
 //
+// The file is processed as a stream in a single pass — events are never
+// loaded into memory, so arbitrarily large traces (e.g. tracegen output
+// concatenated across executions) inspect in constant memory. Files
+// holding several executions get one summary block per execution.
+//
 // Usage:
 //
 //	traceinspect traces/mozilla-000.pctr
@@ -19,7 +24,7 @@ import (
 
 func main() {
 	var (
-		headFlag      = flag.Int("head", 0, "print the first N events as text")
+		headFlag      = flag.Int("head", 0, "print the first N events of each execution as text")
 		breakevenFlag = flag.Float64("breakeven", 5.43, "breakeven time in seconds for idle-period stats")
 		formatFlag    = flag.String("format", "auto", "input format: binary, text or auto")
 	)
@@ -27,28 +32,77 @@ func main() {
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("usage: traceinspect [flags] <trace-file>"))
 	}
-	tr, err := read(flag.Arg(0), *formatFlag)
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	if err := tr.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "traceinspect: warning:", err)
+	defer f.Close()
+	src, err := open(f, *formatFlag)
+	if err != nil {
+		fatal(err)
 	}
 
-	fmt.Printf("app %s execution %d\n", tr.App, tr.Execution)
-	fmt.Printf("events %d (I/O %d), duration %.1f s\n", tr.Len(), tr.IOCount(), tr.Duration().Seconds())
+	execs := 0
+	for {
+		app, exec, ok := src.NextExec()
+		if !ok {
+			break
+		}
+		if execs > 0 {
+			fmt.Println()
+		}
+		execs++
+		inspect(src, app, exec, *headFlag, *breakevenFlag)
+	}
+	if err := src.Err(); err != nil {
+		fatal(err)
+	}
+	if execs == 0 {
+		fatal(fmt.Errorf("%s: no executions found", flag.Arg(0)))
+	}
+}
 
-	// Per-process activity.
+// inspect consumes one execution from src and prints its summary. All
+// statistics are computed incrementally; only the -head buffer and
+// per-process aggregates are retained.
+func inspect(src trace.Source, app string, exec int, head int, breakeven float64) {
 	type pstat struct {
 		ios   int
 		first trace.Time
 		last  trace.Time
 	}
-	procs := map[trace.PID]*pstat{}
-	for _, e := range tr.Events {
+	var (
+		v         = trace.NewValidator(app, exec)
+		validErr  error
+		events    int
+		ios       int
+		duration  trace.Time
+		procs     = map[trace.PID]*pstat{}
+		be        = trace.FromSeconds(breakeven)
+		prev      trace.Time
+		havePrev  bool
+		short     int
+		long      int
+		longTotal trace.Time
+		headBuf   []trace.Event
+	)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if validErr == nil {
+			validErr = v.Event(e)
+		}
+		events++
+		duration = e.Time
+		if len(headBuf) < head {
+			headBuf = append(headBuf, e)
+		}
 		if !e.IsIO() {
 			continue
 		}
+		ios++
 		p := procs[e.Pid]
 		if p == nil {
 			p = &pstat{first: e.Time}
@@ -56,29 +110,6 @@ func main() {
 		}
 		p.ios++
 		p.last = e.Time
-	}
-	pids := make([]trace.PID, 0, len(procs))
-	for pid := range procs {
-		pids = append(pids, pid)
-	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-	fmt.Println("\nprocesses:")
-	for _, pid := range pids {
-		p := procs[pid]
-		fmt.Printf("  pid %-6d %7d I/Os   active %.1f–%.1f s\n",
-			pid, p.ios, p.first.Seconds(), p.last.Seconds())
-	}
-
-	// Idle-period structure of the merged I/O stream.
-	be := trace.FromSeconds(*breakevenFlag)
-	var prev trace.Time
-	havePrev := false
-	short, long := 0, 0
-	var longTotal trace.Time
-	for _, e := range tr.Events {
-		if !e.IsIO() {
-			continue
-		}
 		if havePrev {
 			gap := e.Time - prev
 			if gap >= be {
@@ -91,34 +122,45 @@ func main() {
 		prev = e.Time
 		havePrev = true
 	}
-	fmt.Printf("\nidle periods at breakeven %.2f s: %d long (total %.1f s), %d short\n",
-		*breakevenFlag, long, longTotal.Seconds(), short)
+	if validErr != nil {
+		fmt.Fprintln(os.Stderr, "traceinspect: warning:", validErr)
+	}
 
-	if *headFlag > 0 {
+	fmt.Printf("app %s execution %d\n", app, exec)
+	fmt.Printf("events %d (I/O %d), duration %.1f s\n", events, ios, duration.Seconds())
+
+	pids := make([]trace.PID, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	fmt.Println("\nprocesses:")
+	for _, pid := range pids {
+		p := procs[pid]
+		fmt.Printf("  pid %-6d %7d I/Os   active %.1f–%.1f s\n",
+			pid, p.ios, p.first.Seconds(), p.last.Seconds())
+	}
+
+	fmt.Printf("\nidle periods at breakeven %.2f s: %d long (total %.1f s), %d short\n",
+		breakeven, long, longTotal.Seconds(), short)
+
+	if head > 0 {
 		fmt.Println("\nfirst events:")
-		n := *headFlag
-		if n > tr.Len() {
-			n = tr.Len()
-		}
-		for _, e := range tr.Events[:n] {
+		for _, e := range headBuf {
 			fmt.Println(" ", e.String())
 		}
 	}
 }
 
-func read(path, format string) (*trace.Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// open wraps the file in the right streaming decoder, sniffing the binary
+// magic when the format is auto.
+func open(f *os.File, format string) (trace.Source, error) {
 	switch format {
 	case "binary":
-		return trace.ReadBinary(f)
+		return trace.NewDecoder(f), nil
 	case "text":
-		return trace.ReadText(f)
+		return trace.NewTextDecoder(f), nil
 	case "auto":
-		// Sniff the magic.
 		var magic [4]byte
 		if _, err := f.Read(magic[:]); err != nil {
 			return nil, err
@@ -127,9 +169,9 @@ func read(path, format string) (*trace.Trace, error) {
 			return nil, err
 		}
 		if string(magic[:]) == "PCTR" {
-			return trace.ReadBinary(f)
+			return trace.NewDecoder(f), nil
 		}
-		return trace.ReadText(f)
+		return trace.NewTextDecoder(f), nil
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}

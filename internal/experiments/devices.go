@@ -31,7 +31,12 @@ func (s *Suite) deviceSuite(dev disk.Params) (*Suite, error) {
 	v, err := s.memo.do("devsuite/"+dev.Name, func() (any, error) {
 		cfg := s.cfg
 		cfg.Disk = dev
-		return newSharedSuite(s.seed, cfg, s.traces)
+		ds, err := newSharedSuite(s.seed, cfg, s.traces)
+		if err != nil {
+			return nil, err
+		}
+		ds.scale = s.scale // sub-suites simulate the same scaled workload
+		return ds, nil
 	})
 	if err != nil {
 		return nil, err

@@ -122,7 +122,9 @@ func (s *Suite) TasksFor(exps ...string) ([]Task, error) {
 			needsTraces = true
 		}
 	}
-	if needsTraces {
+	// In on-demand mode there is no pinned slice to warm — every run
+	// streams its own regeneration — so the warm-up tasks are skipped.
+	if needsTraces && !s.traces.OnDemand() {
 		for _, app := range s.Apps() {
 			app := app
 			l.add("traces/"+app.Name, func() error {

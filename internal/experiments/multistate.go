@@ -56,7 +56,7 @@ func (s *Suite) multiStateRow(app *workload.App) (MultiStateRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		multi, err := runner.RunApp(s.Traces(app), sim.Policy{
+		multi, err := runner.RunSource(s.SourceFor(app), sim.Policy{
 			Name:       "PCAP+lp",
 			NewFactory: func() predictor.Factory { return core.MustNew(s.pcapConfig(core.VariantBase)) },
 			Reuse:      true,

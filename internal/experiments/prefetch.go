@@ -29,16 +29,17 @@ const prefetchDegree = 8
 // so matrix workers and the driver share the evaluation.
 func (s *Suite) prefetchRow(app *workload.App) (PrefetchRow, error) {
 	v, err := s.memo.do("prefetch/"+app.Name, func() (any, error) {
-		traces := s.Traces(app)
-		base, err := prefetch.Evaluate(traces, prefetchCacheBlocks, prefetch.None{})
+		// Three passes, three fresh sources: sources are single-use
+		// single-goroutine iterators.
+		base, err := prefetch.EvaluateSource(s.SourceFor(app), prefetchCacheBlocks, prefetch.None{})
 		if err != nil {
 			return nil, err
 		}
-		global, err := prefetch.Evaluate(traces, prefetchCacheBlocks, prefetch.NewGlobalReadahead(prefetchDegree))
+		global, err := prefetch.EvaluateSource(s.SourceFor(app), prefetchCacheBlocks, prefetch.NewGlobalReadahead(prefetchDegree))
 		if err != nil {
 			return nil, err
 		}
-		pc, err := prefetch.Evaluate(traces, prefetchCacheBlocks, prefetch.NewPCReadahead(prefetchDegree))
+		pc, err := prefetch.EvaluateSource(s.SourceFor(app), prefetchCacheBlocks, prefetch.NewPCReadahead(prefetchDegree))
 		if err != nil {
 			return nil, err
 		}

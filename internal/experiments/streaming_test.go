@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// suitePolicies returns the deduplicated union of every policy the
+// default suite evaluates, in a deterministic order.
+func suitePolicies(s *Suite) []sim.Policy {
+	var all []sim.Policy
+	all = append(all, s.PolicyBase(), s.PolicyIdeal())
+	all = append(all, s.table3Policies()...)
+	all = append(all, s.fig67Policies()...)
+	all = append(all, s.fig8Policies()...)
+	all = append(all, s.fig9Policies()...)
+	all = append(all, s.fig10Policies()...)
+	all = append(all, s.tpSweepPolicies()...)
+	all = append(all, s.predictorPolicies()...)
+	seen := make(map[string]bool)
+	var out []sim.Policy
+	for _, p := range all {
+		if seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestStreamingDifferential is the streaming pipeline's end-to-end
+// equivalence check: for every app × policy in the default suite, a
+// workload that is generated, encoded to the binary format, and decoded
+// back as a stream must simulate to a byte-identical result (rendered via
+// %+v) and a deeply equal AppResult versus the legacy materialized
+// RunApp path. Under -short (the CI race pass) the matrix is trimmed to
+// two apps and the structurally distinct policies.
+func TestStreamingDifferential(t *testing.T) {
+	s := NewDefaultSuite()
+	runner, err := sim.NewRunner(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := s.Apps()
+	pols := suitePolicies(s)
+	if testing.Short() {
+		apps = apps[:2] // mozilla (multi-process) and writer
+		short := []sim.Policy{s.PolicyBase(), s.PolicyTP(), s.PolicyLT()}
+		short = append(short, s.table3Policies()...)
+		seen := make(map[string]bool)
+		pols = pols[:0]
+		for _, p := range short {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				pols = append(pols, p)
+			}
+		}
+	}
+	for _, app := range apps {
+		traces := s.Traces(app)
+		var encoded bytes.Buffer
+		for _, tr := range traces {
+			if err := trace.WriteBinary(&encoded, tr); err != nil {
+				t.Fatalf("%s: encode: %v", app.Name, err)
+			}
+		}
+		blob := encoded.Bytes()
+		for _, pol := range pols {
+			pol := pol
+			t.Run(app.Name+"/"+pol.Name, func(t *testing.T) {
+				want, err := runner.RunApp(traces, pol)
+				if err != nil {
+					t.Fatalf("RunApp: %v", err)
+				}
+				got, err := runner.RunSource(trace.NewDecoder(bytes.NewReader(blob)), pol)
+				if err != nil {
+					t.Fatalf("RunSource: %v", err)
+				}
+				if wt, gt := fmt.Sprintf("%+v", want), fmt.Sprintf("%+v", got); wt != gt {
+					t.Errorf("streamed result text differs:\n got %s\nwant %s", gt, wt)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("streamed AppResult not deeply equal to materialized one")
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteOnDemandMatchesPinned renders a small experiment in both cache
+// modes and requires byte-identical output: regenerate-on-demand
+// streaming must not perturb a single digit.
+func TestSuiteOnDemandMatchesPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders full experiments; covered by the long pass")
+	}
+	pinned := NewDefaultSuite()
+	want, err := pinned.RenderExperiment("fig8", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDemand := NewDefaultSuite()
+	onDemand.SetOnDemand(true)
+	got, err := onDemand.RenderExperiment("fig8", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("on-demand rendering differs from pinned:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSuiteScaleMultipliesExecutions checks the -scale plumbing at the
+// suite level: execution counts multiply, and scale 1 is the identity.
+func TestSuiteScaleMultipliesExecutions(t *testing.T) {
+	app := workload.Apps()[4] // nedit: smallest workload
+	base := NewDefaultSuite()
+	baseRes, err := base.Run(app, base.PolicyTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := NewDefaultSuite()
+	scaled.SetScale(3)
+	if scaled.Scale() != 3 {
+		t.Fatalf("Scale() = %d, want 3", scaled.Scale())
+	}
+	scaledRes, err := scaled.Run(app, scaled.PolicyTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaledRes.Executions != 3*baseRes.Executions {
+		t.Errorf("scaled executions = %d, want %d", scaledRes.Executions, 3*baseRes.Executions)
+	}
+	if scaledRes.TotalIOs != 3*baseRes.TotalIOs {
+		t.Errorf("scaled TotalIOs = %d, want %d", scaledRes.TotalIOs, 3*baseRes.TotalIOs)
+	}
+
+	one := NewDefaultSuite()
+	one.SetScale(1)
+	oneRes, err := one.Run(app, one.PolicyTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oneRes, baseRes) {
+		t.Error("scale 1 result differs from default")
+	}
+}

@@ -33,6 +33,9 @@ type Suite struct {
 	seed   uint64
 	cfg    sim.Config
 	runner *sim.Runner
+	// scale repeats every workload scale times (1 = the paper's
+	// workloads); see trace.Scale. Set it before the first run.
+	scale int
 
 	// traces memoizes per-(app, seed) generated traces; device sub-suites
 	// share it with their parent, since traces are device independent.
@@ -59,6 +62,7 @@ func newSharedSuite(seed uint64, cfg sim.Config, traces *workload.TraceCache) (*
 		seed:   seed,
 		cfg:    cfg,
 		runner: r,
+		scale:  1,
 		traces: traces,
 	}, nil
 }
@@ -89,11 +93,43 @@ func (s *Suite) Traces(app *workload.App) []*trace.Trace {
 	return s.traces.Traces(app, s.seed)
 }
 
+// SourceFor returns a fresh trace source over app's workload, scaled by
+// the suite's scale factor. In the default (pinned) cache mode all
+// sources of one app share a single generated slice; in on-demand mode
+// each source regenerates its executions as it is consumed. Every call
+// returns an independent iterator — sources are single-goroutine values.
+func (s *Suite) SourceFor(app *workload.App) trace.Source {
+	return trace.Scale(s.traces.Source(app, s.seed), s.scale)
+}
+
+// SetScale makes every policy run consume the workload scale times over
+// (see trace.Scale; scale 1 — the default — is byte-for-byte the paper's
+// workload). Set it before the first run: results are memoized, so
+// changing the scale mid-suite would mix scales in one output.
+func (s *Suite) SetScale(scale int) {
+	if scale < 1 {
+		scale = 1
+	}
+	s.scale = scale
+}
+
+// Scale returns the suite's workload scale factor.
+func (s *Suite) Scale() int { return s.scale }
+
+// SetOnDemand switches the shared trace cache between pinned slices (the
+// default) and regenerate-on-demand streaming, which holds at most one
+// execution of one app in memory per concurrent run. Like SetScale, set
+// it before the first run.
+func (s *Suite) SetOnDemand(v bool) { s.traces.SetOnDemand(v) }
+
+// OnDemand reports whether the suite streams workloads on demand.
+func (s *Suite) OnDemand() bool { return s.traces.OnDemand() }
+
 // Run simulates app under pol, memoized by (app, policy name). Concurrent
 // callers of the same cell block on one simulation and share its result.
 func (s *Suite) Run(app *workload.App, pol sim.Policy) (*sim.AppResult, error) {
 	v, err := s.memo.do("run/"+app.Name+"/"+pol.Name, func() (any, error) {
-		res, err := s.runner.RunApp(s.Traces(app), pol)
+		res, err := s.runner.RunSource(s.SourceFor(app), pol)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s under %s: %w", app.Name, pol.Name, err)
 		}

@@ -240,13 +240,28 @@ func (c *blockCache) insert(block int64, prefetched bool) (wastedEviction bool) 
 // write-back path); multi-block reads are split per block, as in the file
 // cache simulator.
 func Evaluate(traces []*trace.Trace, capBlocks int, p Prefetcher) (Result, error) {
+	return EvaluateSource(trace.NewSliceSource(traces...), capBlocks, p)
+}
+
+// EvaluateSource is Evaluate over a streaming trace source: events are
+// scored as they are pulled, so memory stays constant in workload length.
+// The prefetcher's learned state persists across executions (as with
+// Evaluate); the block cache starts cold for each one.
+func EvaluateSource(src trace.Source, capBlocks int, p Prefetcher) (Result, error) {
 	if capBlocks <= 0 {
 		return Result{}, fmt.Errorf("prefetch: cache capacity must be positive, got %d", capBlocks)
 	}
 	res := Result{Prefetcher: p.Name()}
-	for _, tr := range traces {
+	for {
+		if _, _, ok := src.NextExec(); !ok {
+			break
+		}
 		cache := newBlockCache(capBlocks)
-		for _, e := range tr.Events {
+		for {
+			e, ok := src.Next()
+			if !ok {
+				break
+			}
 			if e.Kind != trace.KindIO || e.Access != trace.AccessRead && e.Access != trace.AccessOpen {
 				continue
 			}
@@ -276,13 +291,16 @@ func Evaluate(traces []*trace.Trace, capBlocks int, p Prefetcher) (Result, error
 				}
 			}
 		}
-		// Prefetched blocks never touched before the trace ended were
+		// Prefetched blocks never touched before the execution ended were
 		// fetched for nothing.
 		for el := cache.lru.Front(); el != nil; el = el.Next() {
 			if el.Value.(*cacheEntry).prefetched {
 				res.Wasted++
 			}
 		}
+	}
+	if err := src.Err(); err != nil {
+		return Result{}, fmt.Errorf("prefetch: reading trace source: %w", err)
 	}
 	return res, nil
 }

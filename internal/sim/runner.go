@@ -127,11 +127,14 @@ type PeriodRecord struct {
 
 // Runner executes policies over application traces.
 //
-// A Runner is safe for concurrent RunApp calls: cfg is immutable after
-// construction and all per-run state lives in the per-call execution and
-// AppResult (the file cache is built inside prepare, and traces are read
-// only — events are copied by value into the access stream). The parallel
-// experiment engine (internal/experiments.RunMatrix) relies on this.
+// A Runner is safe for concurrent RunApp/RunSource calls: cfg is
+// immutable after construction and all per-run state lives in the
+// per-call execution and AppResult (the file cache is built inside
+// prepare, and traces are read only — events are copied by value into the
+// access stream). The parallel experiment engine
+// (internal/experiments.RunMatrix) relies on this. Sources themselves are
+// single-goroutine iterators: concurrent RunSource calls need distinct
+// Source values (over shared read-only traces is fine).
 // The one caveat is PeriodHook: it fires synchronously on the goroutine
 // calling RunApp, so a hook installed on a shared Runner must itself be
 // safe for concurrent use (set it before the first RunApp; the hook is a
@@ -170,18 +173,30 @@ func (r *Runner) serviceTime(e trace.Event) trace.Time {
 }
 
 // RunApp simulates every execution trace of one application under the
-// given policy and returns the aggregated result.
+// given policy and returns the aggregated result. It is a thin wrapper
+// over RunSource with the traces adapted to a Source.
 func (r *Runner) RunApp(traces []*trace.Trace, pol Policy) (*AppResult, error) {
+	return r.RunSource(trace.NewSliceSource(traces...), pol)
+}
+
+// RunSource simulates every execution yielded by src under the given
+// policy and returns the aggregated result. Executions are consumed one
+// at a time: peak memory is one execution's events (and zero extra for
+// sources that already hold them, via trace.ExecSlicer), independent of
+// how many executions the source yields. The source must yield at least
+// one execution; all executions are expected to belong to one
+// application (the result is labelled with the first one's name).
+//
+// RunSource over a source yielding the same executions as a []*trace.Trace
+// produces a result identical to RunApp over that slice — the simulation
+// per execution, including floating-point accumulation order, is shared
+// code.
+func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	if len(traces) == 0 {
-		return nil, fmt.Errorf("sim: no traces")
-	}
 	res := &AppResult{
-		App:          traces[0].App,
 		Policy:       pol.Name,
-		Executions:   len(traces),
 		StateEntries: -1,
 	}
 	newFactory := pol.NewFactory
@@ -192,7 +207,16 @@ func (r *Runner) RunApp(traces []*trace.Trace, pol Policy) (*AppResult, error) {
 		newFactory = func() predictor.Factory { return predictor.NewOracle(breakeven) }
 	}
 	var f predictor.Factory
-	for i, tr := range traces {
+	var buf []trace.Event // recycled drain buffer for purely streaming sources
+	view := &trace.Trace{}
+	for i := 0; ; i++ {
+		app, exec, ok := src.NextExec()
+		if !ok {
+			break
+		}
+		if i == 0 {
+			res.App = app
+		}
 		switch {
 		case f == nil || !pol.Reuse:
 			f = newFactory()
@@ -203,13 +227,22 @@ func (r *Runner) RunApp(traces []*trace.Trace, pol Policy) (*AppResult, error) {
 			}
 			f = nf
 		}
-		ex, err := prepare(tr, r.cfg.Cache)
+		buf = trace.Drain(src, buf)
+		view.App, view.Execution, view.Events = app, exec, buf
+		ex, err := prepare(view, r.cfg.Cache)
 		if err != nil {
 			return nil, err
 		}
 		if err := r.runExecution(ex, f, pol, res); err != nil {
-			return nil, fmt.Errorf("sim: %s execution %d: %w", tr.App, tr.Execution, err)
+			return nil, fmt.Errorf("sim: %s execution %d: %w", app, exec, err)
 		}
+		res.Executions++
+	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("sim: reading trace source: %w", err)
+	}
+	if res.Executions == 0 {
+		return nil, fmt.Errorf("sim: no traces")
 	}
 	if sf, ok := f.(SizedFactory); ok {
 		res.StateEntries = sf.StateSize()

@@ -37,141 +37,307 @@ const (
 // trace.
 var ErrBadFormat = errors.New("trace: bad format")
 
-// WriteBinary encodes the trace to w in the binary trace format.
-func WriteBinary(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
+// Encoder writes one execution in the binary trace format, one event per
+// Write call, so producers stream events straight to disk instead of
+// materializing a Trace first. The event count is part of the header and
+// must therefore be known up front; per-execution producers (the workload
+// builder, tracegen) know it from their reorder buffer. Output is
+// byte-identical to WriteBinary over the same events.
+type Encoder struct {
+	bw      *bufio.Writer
+	count   int
+	written int
+	prev    Time
+}
+
+// NewEncoder writes the binary header for an execution of count events
+// and returns an encoder for its event stream. I/O errors are sticky in
+// the buffered writer and surface at Close.
+func NewEncoder(w io.Writer, app string, exec int, count int) (*Encoder, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", count)
 	}
+	if exec < 0 {
+		return nil, fmt.Errorf("trace: negative execution index %d", exec)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(binaryMagic)
 	var v2 [2]byte
 	binary.LittleEndian.PutUint16(v2[:], binaryVersion)
-	if _, err := bw.Write(v2[:]); err != nil {
+	bw.Write(v2[:])
+	writeUvarint(bw, uint64(len(app)))
+	bw.WriteString(app)
+	writeUvarint(bw, uint64(exec))
+	writeUvarint(bw, uint64(count))
+	return &Encoder{bw: bw, count: count}, nil
+}
+
+// Write encodes the next event. Events must arrive in non-decreasing time
+// order and must not exceed the declared count.
+func (enc *Encoder) Write(e Event) error {
+	i := enc.written
+	if i >= enc.count {
+		return fmt.Errorf("trace: event %d exceeds declared count %d", i, enc.count)
+	}
+	if e.Time < enc.prev {
+		return fmt.Errorf("trace: event %d out of order; call SortStable before encoding", i)
+	}
+	writeUvarint(enc.bw, uint64(e.Time-enc.prev))
+	enc.prev = e.Time
+	writeUvarint(enc.bw, uint64(e.Pid))
+	enc.bw.WriteByte(byte(e.Kind))
+	switch e.Kind {
+	case KindIO:
+		enc.bw.WriteByte(byte(e.Access))
+		writeUvarint(enc.bw, uint64(e.PC))
+		writeVarint(enc.bw, int64(e.FD))
+		writeVarint(enc.bw, e.Block)
+		writeVarint(enc.bw, int64(e.Size))
+	case KindFork:
+		writeUvarint(enc.bw, uint64(e.Child))
+	case KindExit:
+	default:
+		return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+	}
+	enc.written++
+	return nil
+}
+
+// Close flushes the encoder, verifying every declared event was written.
+func (enc *Encoder) Close() error {
+	if enc.written != enc.count {
+		return fmt.Errorf("trace: wrote %d of %d declared events", enc.written, enc.count)
+	}
+	return enc.bw.Flush()
+}
+
+// WriteBinary encodes the trace to w in the binary trace format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	enc, err := NewEncoder(w, t.App, t.Execution, len(t.Events))
+	if err != nil {
 		return err
 	}
-	writeUvarint(bw, uint64(len(t.App)))
-	bw.WriteString(t.App)
-	writeUvarint(bw, uint64(t.Execution))
-	writeUvarint(bw, uint64(len(t.Events)))
-	var prev Time
-	for i, e := range t.Events {
-		if e.Time < prev {
-			return fmt.Errorf("trace: event %d out of order; call SortStable before encoding", i)
-		}
-		writeUvarint(bw, uint64(e.Time-prev))
-		prev = e.Time
-		writeUvarint(bw, uint64(e.Pid))
-		bw.WriteByte(byte(e.Kind))
-		switch e.Kind {
-		case KindIO:
-			bw.WriteByte(byte(e.Access))
-			writeUvarint(bw, uint64(e.PC))
-			writeVarint(bw, int64(e.FD))
-			writeVarint(bw, e.Block)
-			writeVarint(bw, int64(e.Size))
-		case KindFork:
-			writeUvarint(bw, uint64(e.Child))
-		case KindExit:
-		default:
-			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+	for _, e := range t.Events {
+		if err := enc.Write(e); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return enc.Close()
+}
+
+// Decoder is a streaming reader of the binary trace format: a Source over
+// one or more consecutive binary traces (executions) on r, decoding one
+// event per Next call so multi-gigabyte files replay in constant memory.
+// Reset rewinds when r is an io.Seeker.
+type Decoder struct {
+	r     io.Reader
+	seek  io.Seeker
+	br    *bufio.Reader
+	err   error
+	ended bool // clean end of stream reached
+
+	app    string
+	exec   int
+	count  uint64 // events declared by the current execution's header
+	read   uint64 // events decoded from the current execution
+	inExec bool
+	prev   Time
+}
+
+// NewDecoder returns a streaming decoder over r. If r is also an
+// io.Seeker (os.File, bytes.Reader), the decoder supports Reset.
+func NewDecoder(r io.Reader) *Decoder {
+	seek, _ := r.(io.Seeker)
+	return &Decoder{r: r, seek: seek, br: bufio.NewReader(r)}
+}
+
+// Count returns the number of events the current execution's header
+// declared — the streaming counterpart of len(t.Events).
+func (d *Decoder) Count() uint64 { return d.count }
+
+// NextExec implements Source: it reads the next execution's header,
+// draining any undecoded events of the current one first. ok=false with a
+// nil Err means the stream ended cleanly at an execution boundary.
+func (d *Decoder) NextExec() (string, int, bool) {
+	if d.err != nil || d.ended {
+		return "", 0, false
+	}
+	for d.inExec { // discard the rest of the current execution
+		if _, ok := d.Next(); !ok {
+			if d.err != nil {
+				return "", 0, false
+			}
+		}
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		if err == io.EOF {
+			d.ended = true // clean boundary: no more executions
+		} else {
+			d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		return "", 0, false
+	}
+	if string(magic[:]) != binaryMagic {
+		d.err = fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+		return "", 0, false
+	}
+	var v2 [2]byte
+	if _, err := io.ReadFull(d.br, v2[:]); err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return "", 0, false
+	}
+	if v := binary.LittleEndian.Uint16(v2[:]); v != binaryVersion {
+		d.err = fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+		return "", 0, false
+	}
+	nameLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return "", 0, false
+	}
+	if nameLen > 1<<20 {
+		d.err = fmt.Errorf("%w: app name too long (%d)", ErrBadFormat, nameLen)
+		return "", 0, false
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.br, name); err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return "", 0, false
+	}
+	exec, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return "", 0, false
+	}
+	count, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return "", 0, false
+	}
+	d.app = string(name)
+	d.exec = int(exec)
+	d.count = count
+	d.read = 0
+	d.prev = 0
+	d.inExec = count > 0
+	return d.app, d.exec, true
+}
+
+// Next implements Source: it decodes the next event of the current
+// execution.
+func (d *Decoder) Next() (Event, bool) {
+	if d.err != nil || !d.inExec {
+		return Event{}, false
+	}
+	i := d.read
+	fail := func(err error) (Event, bool) {
+		d.err = fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
+		d.inExec = false
+		return Event{}, false
+	}
+	dt, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return fail(err)
+	}
+	pid, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return fail(err)
+	}
+	kindByte, err := d.br.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	e := Event{Time: d.prev + Time(dt), Pid: PID(pid), Kind: Kind(kindByte)}
+	d.prev = e.Time
+	switch e.Kind {
+	case KindIO:
+		accessByte, err := d.br.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		e.Access = Access(accessByte)
+		pc, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return fail(err)
+		}
+		e.PC = PC(pc)
+		fd, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return fail(err)
+		}
+		e.FD = FD(fd)
+		block, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return fail(err)
+		}
+		e.Block = block
+		size, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return fail(err)
+		}
+		e.Size = int32(size)
+	case KindFork:
+		child, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return fail(err)
+		}
+		e.Child = PID(child)
+	case KindExit:
+	default:
+		d.err = fmt.Errorf("%w: event %d has unknown kind %d", ErrBadFormat, i, kindByte)
+		d.inExec = false
+		return Event{}, false
+	}
+	d.read++
+	if d.read >= d.count {
+		d.inExec = false
+	}
+	return e, true
+}
+
+// Err implements Source.
+func (d *Decoder) Err() error { return d.err }
+
+// Reset implements Source, rewinding seekable inputs to the start.
+func (d *Decoder) Reset() error {
+	if d.seek == nil {
+		return fmt.Errorf("trace: decoder input is not seekable")
+	}
+	if _, err := d.seek.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	d.br.Reset(d.r)
+	d.err = nil
+	d.ended = false
+	d.inExec = false
+	d.count, d.read = 0, 0
+	return nil
 }
 
 // ReadBinary decodes a trace previously encoded with WriteBinary.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	d := NewDecoder(r)
+	app, exec, ok := d.NextExec()
+	if !ok {
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, io.EOF)
 	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
-	}
-	var v2 [2]byte
-	if _, err := io.ReadFull(br, v2[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if v := binary.LittleEndian.Uint16(v2[:]); v != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
-	}
-	nameLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("%w: app name too long (%d)", ErrBadFormat, nameLen)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	exec, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	t := &Trace{App: string(name), Execution: int(exec)}
-	if count < 1<<20 {
+	t := &Trace{App: app, Execution: exec}
+	if count := d.Count(); count < 1<<20 {
 		t.Events = make([]Event, 0, count)
 	}
-	var prev Time
-	for i := uint64(0); i < count; i++ {
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-		}
-		pid, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-		}
-		kindByte, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-		}
-		e := Event{Time: prev + Time(dt), Pid: PID(pid), Kind: Kind(kindByte)}
-		prev = e.Time
-		switch e.Kind {
-		case KindIO:
-			accessByte, err := br.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.Access = Access(accessByte)
-			pc, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.PC = PC(pc)
-			fd, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.FD = FD(fd)
-			block, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.Block = block
-			size, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.Size = int32(size)
-		case KindFork:
-			child, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, i, err)
-			}
-			e.Child = PID(child)
-		case KindExit:
-		default:
-			return nil, fmt.Errorf("%w: event %d has unknown kind %d", ErrBadFormat, i, kindByte)
+	for {
+		e, ok := d.Next()
+		if !ok {
+			break
 		}
 		t.Events = append(t.Events, e)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -311,6 +477,149 @@ func parseTextEvent(text string) (Event, error) {
 		return Event{}, fmt.Errorf("unknown event kind %q", fields[1])
 	}
 	return e, nil
+}
+
+// TextDecoder is a streaming reader of the text trace format: a Source
+// over one or more concatenated text traces, one line per event, in
+// constant memory. An "# app <name> exec <n>" header starts a new
+// execution; events before any header belong to an unnamed execution 0.
+// Reset rewinds when r is an io.Seeker.
+type TextDecoder struct {
+	r    io.Reader
+	seek io.Seeker
+	sc   *bufio.Scanner
+	line int
+	err  error
+
+	app, nextApp   string
+	exec, nextExec int
+	haveHeader     bool  // an unconsumed header was seen
+	pending        Event // parsed but undelivered event
+	havePending    bool
+	inExec         bool
+}
+
+// NewTextDecoder returns a streaming decoder over the text format.
+func NewTextDecoder(r io.Reader) *TextDecoder {
+	seek, _ := r.(io.Seeker)
+	d := &TextDecoder{r: r, seek: seek}
+	d.newScanner()
+	return d
+}
+
+func (d *TextDecoder) newScanner() {
+	d.sc = bufio.NewScanner(d.r)
+	d.sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+}
+
+// scanLine advances to the next meaningful line: it returns an event to
+// deliver, records headers, and reports the end of input.
+// kind: 0 = event (in e), 1 = header, 2 = end of input.
+func (d *TextDecoder) scanLine() (e Event, kind int) {
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 5 && fields[1] == "app" && fields[3] == "exec" {
+				exec, err := strconv.Atoi(fields[4])
+				if err != nil {
+					d.err = fmt.Errorf("trace: line %d: bad exec: %v", d.line, err)
+					return Event{}, 2
+				}
+				d.nextApp, d.nextExec = fields[2], exec
+				d.haveHeader = true
+				return Event{}, 1
+			}
+			continue
+		}
+		ev, err := parseTextEvent(text)
+		if err != nil {
+			d.err = fmt.Errorf("trace: line %d: %v", d.line, err)
+			return Event{}, 2
+		}
+		return ev, 0
+	}
+	if err := d.sc.Err(); err != nil && d.err == nil {
+		d.err = err
+	}
+	return Event{}, 2
+}
+
+// NextExec implements Source.
+func (d *TextDecoder) NextExec() (string, int, bool) {
+	if d.err != nil {
+		return "", 0, false
+	}
+	for d.inExec { // discard the rest of the current execution
+		if _, ok := d.Next(); !ok && d.err != nil {
+			return "", 0, false
+		}
+	}
+	for {
+		if d.havePending || d.haveHeader {
+			// A stashed event starts the next execution under the most
+			// recent header; a bare header starts an (empty-so-far) one.
+			d.app, d.exec = d.nextApp, d.nextExec
+			d.haveHeader = false
+			d.inExec = true
+			return d.app, d.exec, true
+		}
+		e, kind := d.scanLine()
+		switch kind {
+		case 0:
+			d.pending, d.havePending = e, true
+		case 1:
+			// header recorded; loop to start the execution
+		case 2:
+			return "", 0, false
+		}
+	}
+}
+
+// Next implements Source.
+func (d *TextDecoder) Next() (Event, bool) {
+	if d.err != nil || !d.inExec {
+		return Event{}, false
+	}
+	if d.havePending {
+		d.havePending = false
+		return d.pending, true
+	}
+	e, kind := d.scanLine()
+	switch kind {
+	case 0:
+		return e, true
+	case 1:
+		d.inExec = false // a new header ends the current execution
+		return Event{}, false
+	default:
+		d.inExec = false
+		return Event{}, false
+	}
+}
+
+// Err implements Source.
+func (d *TextDecoder) Err() error { return d.err }
+
+// Reset implements Source, rewinding seekable inputs to the start.
+func (d *TextDecoder) Reset() error {
+	if d.seek == nil {
+		return fmt.Errorf("trace: decoder input is not seekable")
+	}
+	if _, err := d.seek.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	d.newScanner()
+	d.line = 0
+	d.err = nil
+	d.app, d.nextApp = "", ""
+	d.exec, d.nextExec = 0, 0
+	d.haveHeader, d.havePending, d.inExec = false, false, false
+	return nil
 }
 
 func parseKV(field, key string) (int64, error) {

@@ -43,7 +43,7 @@ func traceFromBytes(data []byte) *Trace {
 			e.Kind = KindIO
 			e.Access = Access(c[4] % 4)
 			e.PC = PC(uint32(c[5])<<8 | uint32(c[6]))
-			e.FD = FD(int8(c[6]))      // negative FDs hit the varint sign path
+			e.FD = FD(int8(c[6])) // negative FDs hit the varint sign path
 			e.Block = int64(int8(c[7])) * 1_000_003
 			e.Size = int32(c[4]) << 4
 		case 1:

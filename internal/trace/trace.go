@@ -209,9 +209,14 @@ func (t *Trace) Duration() Time {
 
 // SortStable orders events by time, preserving the relative order of
 // equal-time events (generators may emit same-microsecond records).
-func (t *Trace) SortStable() {
-	sort.SliceStable(t.Events, func(i, j int) bool {
-		return t.Events[i].Time < t.Events[j].Time
+func (t *Trace) SortStable() { SortEvents(t.Events) }
+
+// SortEvents stably orders a bare event slice by time — the same ordering
+// SortStable applies, exposed for streaming emitters that recycle one
+// event buffer instead of building a Trace.
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Time < events[j].Time
 	})
 }
 
@@ -227,56 +232,10 @@ func (t *Trace) Validate() error {
 	if len(t.Events) == 0 {
 		return nil
 	}
-	live := map[PID]bool{}
-	exited := map[PID]bool{}
-	// Any pid seen before its fork is treated as a root process (the
-	// parent exists before tracing starts) — unless it already exited.
-	root := func(pid PID) bool {
-		if live[pid] {
-			return true
-		}
-		if exited[pid] {
-			return false
-		}
-		live[pid] = true
-		return true
-	}
-	var last Time
-	for i, e := range t.Events {
-		if e.Time < last {
-			return fmt.Errorf("trace %s/%d: event %d time %v before previous %v", t.App, t.Execution, i, e.Time, last)
-		}
-		last = e.Time
-		switch e.Kind {
-		case KindFork:
-			if e.Child == e.Pid {
-				return fmt.Errorf("trace %s/%d: event %d fork child equals parent %d", t.App, t.Execution, i, e.Pid)
-			}
-			if !root(e.Pid) {
-				return fmt.Errorf("trace %s/%d: event %d fork by exited pid %d", t.App, t.Execution, i, e.Pid)
-			}
-			if live[e.Child] || exited[e.Child] {
-				return fmt.Errorf("trace %s/%d: event %d fork reuses pid %d", t.App, t.Execution, i, e.Child)
-			}
-			live[e.Child] = true
-		case KindExit:
-			if !live[e.Pid] {
-				return fmt.Errorf("trace %s/%d: event %d exit of non-live pid %d", t.App, t.Execution, i, e.Pid)
-			}
-			delete(live, e.Pid)
-			exited[e.Pid] = true
-		case KindIO:
-			if !root(e.Pid) {
-				return fmt.Errorf("trace %s/%d: event %d io by exited pid %d", t.App, t.Execution, i, e.Pid)
-			}
-			if e.Size < 0 {
-				return fmt.Errorf("trace %s/%d: event %d negative size %d", t.App, t.Execution, i, e.Size)
-			}
-			if e.PC == 0 {
-				return fmt.Errorf("trace %s/%d: event %d io with zero PC", t.App, t.Execution, i)
-			}
-		default:
-			return fmt.Errorf("trace %s/%d: event %d unknown kind %d", t.App, t.Execution, i, e.Kind)
+	v := NewValidator(t.App, t.Execution)
+	for _, e := range t.Events {
+		if err := v.Event(e); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,90 @@
+package trace
+
+import "fmt"
+
+// Validator checks the structural invariants of an event stream
+// incrementally, one event at a time, so arbitrarily long traces can be
+// validated in constant memory (per-pid state only). Trace.Validate is
+// implemented on top of it; streaming consumers (traceinspect) feed it
+// directly from a Source.
+//
+// The invariants are those of Trace.Validate: non-decreasing time order;
+// every I/O or exit belongs to a live (started, unexited) process; forks
+// do not reuse a live pid; sizes are non-negative and I/O events carry a
+// PC. Any pid seen before its fork is treated as a root process.
+type Validator struct {
+	// App and Exec label error messages ("trace app/exec: ...").
+	App  string
+	Exec int
+
+	i      int
+	last   Time
+	live   map[PID]bool
+	exited map[PID]bool
+}
+
+// NewValidator returns a Validator labelling errors with app and exec.
+func NewValidator(app string, exec int) *Validator {
+	return &Validator{
+		App:    app,
+		Exec:   exec,
+		live:   map[PID]bool{},
+		exited: map[PID]bool{},
+	}
+}
+
+// root reports whether pid may act now, registering first sightings as
+// root processes (the parent exists before tracing starts) — unless the
+// pid already exited.
+func (v *Validator) root(pid PID) bool {
+	if v.live[pid] {
+		return true
+	}
+	if v.exited[pid] {
+		return false
+	}
+	v.live[pid] = true
+	return true
+}
+
+// Event checks the next event of the stream.
+func (v *Validator) Event(e Event) error {
+	i := v.i
+	v.i++
+	if e.Time < v.last {
+		return fmt.Errorf("trace %s/%d: event %d time %v before previous %v", v.App, v.Exec, i, e.Time, v.last)
+	}
+	v.last = e.Time
+	switch e.Kind {
+	case KindFork:
+		if e.Child == e.Pid {
+			return fmt.Errorf("trace %s/%d: event %d fork child equals parent %d", v.App, v.Exec, i, e.Pid)
+		}
+		if !v.root(e.Pid) {
+			return fmt.Errorf("trace %s/%d: event %d fork by exited pid %d", v.App, v.Exec, i, e.Pid)
+		}
+		if v.live[e.Child] || v.exited[e.Child] {
+			return fmt.Errorf("trace %s/%d: event %d fork reuses pid %d", v.App, v.Exec, i, e.Child)
+		}
+		v.live[e.Child] = true
+	case KindExit:
+		if !v.live[e.Pid] {
+			return fmt.Errorf("trace %s/%d: event %d exit of non-live pid %d", v.App, v.Exec, i, e.Pid)
+		}
+		delete(v.live, e.Pid)
+		v.exited[e.Pid] = true
+	case KindIO:
+		if !v.root(e.Pid) {
+			return fmt.Errorf("trace %s/%d: event %d io by exited pid %d", v.App, v.Exec, i, e.Pid)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("trace %s/%d: event %d negative size %d", v.App, v.Exec, i, e.Size)
+		}
+		if e.PC == 0 {
+			return fmt.Errorf("trace %s/%d: event %d io with zero PC", v.App, v.Exec, i)
+		}
+	default:
+		return fmt.Errorf("trace %s/%d: event %d unknown kind %d", v.App, v.Exec, i, e.Kind)
+	}
+	return nil
+}

@@ -17,10 +17,15 @@ import (
 // generation runs exactly once; concurrent callers block on the first
 // generation and all receive the identical slice. Distinct seeds never
 // share an entry.
+//
+// In on-demand mode (SetOnDemand) the cache stops pinning slices: Source
+// hands out regenerating streams instead, trading repeated generation for
+// O(one execution) memory. Release drops an already-pinned entry.
 type TraceCache struct {
-	mu   sync.Mutex
-	m    map[traceKey]*traceEntry
-	gens atomic.Int64
+	mu       sync.Mutex
+	m        map[traceKey]*traceEntry
+	gens     atomic.Int64
+	onDemand bool
 }
 
 type traceKey struct {
@@ -55,6 +60,52 @@ func (c *TraceCache) Traces(app *App, seed uint64) []*trace.Trace {
 		e.traces = app.Traces(seed)
 	})
 	return e.traces
+}
+
+// Source returns a trace.Source over the app's executions for seed. In
+// the default (pinned) mode it wraps the cached slice, so concurrent
+// callers share one generation; in on-demand mode it returns a fresh
+// regenerating Stream and pins nothing. Each call returns an independent
+// iterator — sources are single-goroutine values.
+func (c *TraceCache) Source(app *App, seed uint64) trace.Source {
+	c.mu.Lock()
+	onDemand := c.onDemand
+	c.mu.Unlock()
+	if onDemand {
+		return app.Stream(seed)
+	}
+	return trace.NewSliceSource(c.Traces(app, seed)...)
+}
+
+// SetOnDemand switches the cache between pinned (false, the default) and
+// regenerate-on-demand (true) modes. Enabling it releases every pinned
+// entry. Already-issued sources are unaffected.
+func (c *TraceCache) SetOnDemand(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDemand = v
+	if v {
+		c.m = make(map[traceKey]*traceEntry)
+	}
+}
+
+// OnDemand reports whether the cache is in regenerate-on-demand mode.
+func (c *TraceCache) OnDemand() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.onDemand
+}
+
+// Release drops the pinned entry for (app, seed), if any, making its
+// traces collectable once outstanding references end. It reports whether
+// an entry was present. A later Traces or Source call regenerates.
+func (c *TraceCache) Release(app *App, seed uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := traceKey{app: app.Name, seed: seed}
+	_, ok := c.m[key]
+	delete(c.m, key)
+	return ok
 }
 
 // Generations reports how many trace generations have actually run — one

@@ -1,0 +1,69 @@
+package workload
+
+import "pcapsim/internal/trace"
+
+// Stream is a trace.Source that generates an application's executions on
+// demand, one at a time, into a single recycled event buffer. Peak memory
+// is one execution regardless of how many the workload has — the
+// streaming alternative to App.Traces, which pins every execution at
+// once. Like all Sources, a Stream is a single-goroutine iterator: share
+// the App, not the Stream.
+type Stream struct {
+	app  *App
+	seed uint64
+	next int           // next execution index to generate
+	cur  []trace.Event // current execution's events (recycled buffer)
+	pos  int           // next event within cur
+}
+
+// Stream returns a Source over the app's executions (Table 1 counts) for
+// seed. It yields exactly the events App.Traces(seed) would materialize,
+// in the same order.
+func (a *App) Stream(seed uint64) *Stream {
+	return &Stream{app: a, seed: seed}
+}
+
+// NextExec implements trace.Source. It generates the next execution,
+// reusing the previous execution's buffer.
+func (s *Stream) NextExec() (string, int, bool) {
+	if s.next >= s.app.Executions {
+		s.pos = len(s.cur)
+		return "", 0, false
+	}
+	exec := s.next
+	s.next++
+	s.cur = s.app.generateEvents(s.seed, exec, s.cur)
+	s.pos = 0
+	return s.app.Name, exec, true
+}
+
+// Next implements trace.Source.
+func (s *Stream) Next() (trace.Event, bool) {
+	if s.pos >= len(s.cur) {
+		return trace.Event{}, false
+	}
+	e := s.cur[s.pos]
+	s.pos++
+	return e, true
+}
+
+// ExecEvents implements trace.ExecSlicer: the current execution is already
+// materialized in the recycled buffer, so consumers can borrow it without
+// copying. The slice is invalidated by the next NextExec.
+func (s *Stream) ExecEvents() []trace.Event {
+	events := s.cur[s.pos:]
+	s.pos = len(s.cur)
+	return events
+}
+
+// Err implements trace.Source; generation cannot fail.
+func (s *Stream) Err() error { return nil }
+
+// Reset implements trace.Source, rewinding to execution 0. Regeneration
+// is deterministic, so a replay is identical to the first pass.
+func (s *Stream) Reset() error {
+	s.next = 0
+	s.cur = s.cur[:0]
+	s.pos = 0
+	return nil
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+const streamTestSeed = 20040214
+
+func TestStreamMatchesTraces(t *testing.T) {
+	for _, app := range Apps() {
+		want := app.Traces(streamTestSeed)
+		got, err := trace.Collect(app.Stream(streamTestSeed))
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d executions, want %d", app.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].App != want[i].App || got[i].Execution != want[i].Execution {
+				t.Errorf("%s exec %d: header %s/%d, want %s/%d",
+					app.Name, i, got[i].App, got[i].Execution, want[i].App, want[i].Execution)
+			}
+			if !reflect.DeepEqual(got[i].Events, want[i].Events) {
+				t.Errorf("%s exec %d: streamed events differ from Traces", app.Name, i)
+			}
+		}
+	}
+}
+
+func TestStreamResetReplaysIdentically(t *testing.T) {
+	app := Apps()[0]
+	s := app.Stream(streamTestSeed)
+	first, err := trace.Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := trace.Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("replay after Reset differs from first pass")
+	}
+}
+
+func TestStreamRecyclesBuffer(t *testing.T) {
+	app := Apps()[0]
+	if app.Executions < 2 {
+		t.Skip("needs a multi-execution app")
+	}
+	s := app.Stream(streamTestSeed)
+	if _, _, ok := s.NextExec(); !ok {
+		t.Fatal("NextExec failed")
+	}
+	firstCap := cap(s.cur)
+	for i := 1; i < app.Executions; i++ {
+		if _, _, ok := s.NextExec(); !ok {
+			t.Fatalf("NextExec %d failed", i)
+		}
+		// Buffer capacity only ever grows to the largest single execution;
+		// it is never reallocated when the next execution fits.
+		if len(s.cur) <= firstCap && cap(s.cur) < firstCap {
+			t.Errorf("execution %d shrank the recycled buffer: cap %d < %d", i, cap(s.cur), firstCap)
+		}
+	}
+}
+
+func TestStreamExecEvents(t *testing.T) {
+	app := Apps()[0]
+	s := app.Stream(streamTestSeed)
+	if _, _, ok := s.NextExec(); !ok {
+		t.Fatal("NextExec failed")
+	}
+	events := s.ExecEvents()
+	want := app.Trace(streamTestSeed, 0).Events
+	if !reflect.DeepEqual(events, want) {
+		t.Error("ExecEvents differs from Trace")
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next should report drained after ExecEvents")
+	}
+}
+
+func TestCacheSourcePinnedMode(t *testing.T) {
+	c := NewTraceCache()
+	app := Apps()[1]
+	src := c.Source(app, streamTestSeed)
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Traces(app, streamTestSeed)
+	if len(got) != len(want) {
+		t.Fatalf("source yielded %d executions, want %d", len(got), len(want))
+	}
+	if c.Generations() != 1 {
+		t.Errorf("pinned mode generated %d times, want 1 (slice shared)", c.Generations())
+	}
+	// A second source shares the same pinned generation.
+	if _, err := trace.Collect(c.Source(app, streamTestSeed)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generations() != 1 {
+		t.Errorf("second source regenerated (gens=%d)", c.Generations())
+	}
+}
+
+func TestCacheSourceOnDemandMode(t *testing.T) {
+	c := NewTraceCache()
+	c.SetOnDemand(true)
+	if !c.OnDemand() {
+		t.Fatal("OnDemand not set")
+	}
+	app := Apps()[1]
+	got, err := trace.Collect(c.Source(app, streamTestSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := app.Traces(streamTestSeed)
+	if len(got) != len(want) {
+		t.Fatalf("on-demand source yielded %d executions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Events, want[i].Events) {
+			t.Errorf("execution %d differs between on-demand source and Traces", i)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("on-demand mode pinned %d entries, want 0", c.Len())
+	}
+}
+
+func TestCacheRelease(t *testing.T) {
+	c := NewTraceCache()
+	app := Apps()[2]
+	c.Traces(app, streamTestSeed)
+	if c.Len() != 1 || c.Generations() != 1 {
+		t.Fatalf("setup: len=%d gens=%d", c.Len(), c.Generations())
+	}
+	if !c.Release(app, streamTestSeed) {
+		t.Error("Release should report a dropped entry")
+	}
+	if c.Release(app, streamTestSeed) {
+		t.Error("second Release should find nothing")
+	}
+	if c.Len() != 0 {
+		t.Errorf("after Release: len=%d, want 0", c.Len())
+	}
+	// Re-request regenerates deterministically.
+	again := c.Traces(app, streamTestSeed)
+	if c.Generations() != 2 {
+		t.Errorf("re-request after Release generated %d times total, want 2", c.Generations())
+	}
+	want := app.Traces(streamTestSeed)
+	for i := range again {
+		if !reflect.DeepEqual(again[i].Events, want[i].Events) {
+			t.Errorf("regenerated execution %d differs", i)
+		}
+	}
+}
+
+func TestSetOnDemandReleasesPinned(t *testing.T) {
+	c := NewTraceCache()
+	c.Traces(Apps()[0], streamTestSeed)
+	c.SetOnDemand(true)
+	if c.Len() != 0 {
+		t.Errorf("SetOnDemand(true) left %d pinned entries", c.Len())
+	}
+}

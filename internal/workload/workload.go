@@ -89,6 +89,14 @@ func Names() []string {
 // Trace generates the trace of one execution. The same (seed, exec) pair
 // always yields an identical trace.
 func (a *App) Trace(seed uint64, exec int) *trace.Trace {
+	return &trace.Trace{App: a.Name, Execution: exec, Events: a.generateEvents(seed, exec, nil)}
+}
+
+// generateEvents produces one execution's sorted event stream, reusing
+// buf's capacity. It is the allocation seam between the materialized API
+// (Trace, which passes a nil buffer) and the streaming one (Stream, which
+// recycles a single buffer across executions).
+func (a *App) generateEvents(seed uint64, exec int, buf []trace.Event) []trace.Event {
 	if exec < 0 {
 		panic("workload: negative execution index")
 	}
@@ -100,11 +108,13 @@ func (a *App) Trace(seed uint64, exec int) *trace.Trace {
 		R:        rng.New(seed).Split(hashName(a.Name)).Split(uint64(exec) + 1),
 		Exec:     exec,
 		nextPid:  rootPid + 1,
+		events:   buf[:0],
 	}
 	a.generate(b)
-	t := &trace.Trace{App: a.Name, Execution: exec, Events: b.events}
-	t.SortStable()
-	return t
+	// Builders may Warp the clock backwards to interleave processes, so
+	// the emitted order is not the time order.
+	trace.SortEvents(b.events)
+	return b.events
 }
 
 // Traces generates all of the app's executions (Table 1 counts).
