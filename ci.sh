@@ -39,4 +39,19 @@ if [[ "${1:-}" != "quick" ]]; then
 	go test -race -short -timeout 30m ./...
 fi
 
+# Hot-path benchmarks (advisory, non-blocking). The output is archived as
+# an artifact so PRs can be compared offline (e.g. with benchstat against
+# a checkout of the base commit). A bench regression never fails the gate:
+# machine noise on shared runners would make it flaky, and EXPERIMENTS.md
+# records the curated before/after numbers instead. The default filter is
+# the allocation-sensitive hot path; BENCH_FILTER='.' sweeps everything.
+bench_artifact="${BENCH_ARTIFACT:-bench.txt}"
+bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$}"
+echo "== go test -bench (hot path) -benchmem (artifact: ${bench_artifact})"
+if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME:-1s}" . >"${bench_artifact}" 2>&1; then
+	grep '^Benchmark' "${bench_artifact}" || true
+else
+	echo "ci: benchmarks failed (non-blocking); see ${bench_artifact}" >&2
+fi
+
 echo "ci: all gates green"

@@ -14,6 +14,12 @@
 // per CPU). Output is deterministic: the same seed produces byte-identical
 // tables and figures at any worker count. Wall-clock is reported on
 // stderr so stdout stays byte-comparable.
+//
+// For profiling the simulation hot path, -cpuprofile and -memprofile
+// write pprof files covering the whole run:
+//
+//	pcapsim -exp all -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +43,8 @@ func main() {
 		parallelFlag = flag.Int("parallel", runtime.NumCPU(), "worker count for the experiment matrix (1 = serial)")
 		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to the given file")
 	)
 	flag.Parse()
 	if *parallelFlag < 1 {
@@ -43,6 +52,37 @@ func main() {
 	}
 	if *scaleFlag < 1 {
 		fatal(fmt.Errorf("-scale must be at least 1, got %d", *scaleFlag))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pcapsim: closing cpu profile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcapsim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile only live, post-run memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcapsim: -memprofile:", err)
+			}
+		}()
 	}
 
 	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())

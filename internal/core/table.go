@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,15 +46,40 @@ func (k Key) String() string {
 	return s
 }
 
-// less orders keys deterministically (for stable snapshots).
+// less orders keys deterministically (for stable snapshots). The order is
+// total: the augmentation flags participate, so tables mixing key shapes
+// (which no single PCAP variant produces, but tests do) still sort
+// reproducibly.
 func (k Key) less(o Key) bool {
 	if k.Sig != o.Sig {
 		return k.Sig < o.Sig
 	}
+	if k.HasHist != o.HasHist {
+		return !k.HasHist
+	}
 	if k.Hist != o.Hist {
 		return k.Hist < o.Hist
 	}
+	if k.HasFD != o.HasFD {
+		return !k.HasFD
+	}
 	return k.FD < o.FD
+}
+
+// hash mixes every key field into a table-probe position (splitmix64-style
+// finalizer). Only determinism matters for correctness; quality just keeps
+// probe chains short.
+func (k Key) hash() uint64 {
+	x := uint64(k.Sig) | uint64(k.Hist)<<32
+	if k.HasHist {
+		x ^= 1 << 62
+	}
+	if k.HasFD {
+		x ^= 1 << 63
+	}
+	x ^= uint64(uint32(k.FD)) * 0xBF58476D1CE4E5B9
+	x *= 0x94D049BB133111EB
+	return x ^ x>>29
 }
 
 // Stats counts prediction-table activity.
@@ -70,14 +94,36 @@ type Stats struct {
 	Evictions int64
 }
 
+// tableEntry is one arena slot: a trained key plus its intrusive LRU
+// links. Slot 0 is the list sentinel (next = MRU, prev = LRU); free slots
+// are chained through next.
+type tableEntry struct {
+	key        Key
+	next, prev int32
+}
+
 // Table is a prediction table: a set of trained keys with optional LRU
 // bounding. It is safe for concurrent use; the paper shares one table
 // among all processes of an application.
+//
+// Storage is an entry arena threaded by an intrusive LRU list and indexed
+// by an open-addressed hash table, so steady-state Lookup/Train/Forget
+// perform no allocations (an unbounded table grows its arena and index
+// geometrically as it learns). LRU semantics — refresh on Lookup and
+// Train, evict the least recently used entry past the bound — are
+// byte-identical to the reference container/list implementation retained
+// in table_test.go.
 type Table struct {
-	mu      sync.Mutex
-	bound   int
-	entries map[Key]*list.Element
-	lru     *list.List // of Key; front = most recently used
+	mu    sync.Mutex
+	bound int
+	arena []tableEntry
+	free  int32 // head of the free-slot chain (0 = none)
+	count int
+	// Open-addressed index: key → arena slot; idxSlot[i] == 0 marks an
+	// empty bucket.
+	idxKey  []Key
+	idxSlot []int32
+	idxMask uint64
 	stats   Stats
 }
 
@@ -87,18 +133,126 @@ func NewTable(bound int) *Table {
 	if bound < 0 {
 		bound = 0
 	}
-	return &Table{
-		bound:   bound,
-		entries: make(map[Key]*list.Element),
-		lru:     list.New(),
+	slots := 64
+	if bound > 0 {
+		slots = bound
 	}
+	t := &Table{
+		bound: bound,
+		arena: make([]tableEntry, 1, slots+1),
+	}
+	t.growIndex(slots)
+	return t
+}
+
+// growIndex (re)builds the open-addressed index with room for at least
+// want entries at half load.
+func (t *Table) growIndex(want int) {
+	size := uint64(16)
+	for size < 2*uint64(want) {
+		size *= 2
+	}
+	oldKey, oldSlot := t.idxKey, t.idxSlot
+	t.idxKey = make([]Key, size)
+	t.idxSlot = make([]int32, size)
+	t.idxMask = size - 1
+	for i, s := range oldSlot {
+		if s != 0 {
+			t.indexPut(oldKey[i], s)
+		}
+	}
+}
+
+// lookupSlot returns the arena slot holding key, or 0.
+func (t *Table) lookupSlot(key Key) int32 {
+	for i := key.hash() & t.idxMask; ; i = (i + 1) & t.idxMask {
+		s := t.idxSlot[i]
+		if s == 0 {
+			return 0
+		}
+		if t.idxKey[i] == key {
+			return s
+		}
+	}
+}
+
+// indexPut records key → slot; the index is kept at most half full, so an
+// empty bucket always exists.
+func (t *Table) indexPut(key Key, slot int32) {
+	i := key.hash() & t.idxMask
+	for t.idxSlot[i] != 0 {
+		i = (i + 1) & t.idxMask
+	}
+	t.idxKey[i] = key
+	t.idxSlot[i] = slot
+}
+
+// indexDelete removes key with backward-shift deletion (no tombstones).
+func (t *Table) indexDelete(key Key) {
+	i := key.hash() & t.idxMask
+	for t.idxKey[i] != key || t.idxSlot[i] == 0 {
+		i = (i + 1) & t.idxMask
+	}
+	for {
+		t.idxSlot[i] = 0
+		j := i
+		for {
+			j = (j + 1) & t.idxMask
+			if t.idxSlot[j] == 0 {
+				return
+			}
+			h := t.idxKey[j].hash() & t.idxMask
+			if (j-h)&t.idxMask >= (j-i)&t.idxMask {
+				t.idxKey[i] = t.idxKey[j]
+				t.idxSlot[i] = t.idxSlot[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// listUnlink removes slot i from the LRU list.
+func (t *Table) listUnlink(i int32) {
+	e := &t.arena[i]
+	t.arena[e.prev].next = e.next
+	t.arena[e.next].prev = e.prev
+}
+
+// listPushFront makes slot i the MRU entry.
+func (t *Table) listPushFront(i int32) {
+	first := t.arena[0].next
+	e := &t.arena[i]
+	e.prev, e.next = 0, first
+	t.arena[first].prev = i
+	t.arena[0].next = i
+}
+
+// moveToFront refreshes slot i's LRU position.
+func (t *Table) moveToFront(i int32) {
+	if t.arena[0].next == i {
+		return
+	}
+	t.listUnlink(i)
+	t.listPushFront(i)
+}
+
+// alloc returns a free arena slot, growing the arena if needed.
+func (t *Table) alloc() int32 {
+	if t.free != 0 {
+		s := t.free
+		t.free = t.arena[s].next
+		return s
+	}
+	t.arena = append(t.arena, tableEntry{})
+	return int32(len(t.arena) - 1)
 }
 
 // Len returns the number of trained entries (the paper's Table 3 metric).
 func (t *Table) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.entries)
+	return t.count
 }
 
 // Stats returns a copy of the activity counters.
@@ -114,12 +268,13 @@ func (t *Table) Lookup(key Key) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Lookups++
-	el, ok := t.entries[key]
-	if ok {
-		t.stats.Hits++
-		t.lru.MoveToFront(el)
+	s := t.lookupSlot(key)
+	if s == 0 {
+		return false
 	}
-	return ok
+	t.stats.Hits++
+	t.moveToFront(s)
+	return true
 }
 
 // Train records key in the table (idempotently), evicting the least
@@ -127,18 +282,31 @@ func (t *Table) Lookup(key Key) bool {
 func (t *Table) Train(key Key) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if el, ok := t.entries[key]; ok {
-		t.lru.MoveToFront(el)
+	if s := t.lookupSlot(key); s != 0 {
+		t.moveToFront(s)
 		return
 	}
-	t.entries[key] = t.lru.PushFront(key)
-	t.stats.Inserts++
-	if t.bound > 0 && len(t.entries) > t.bound {
-		oldest := t.lru.Back()
-		t.lru.Remove(oldest)
-		delete(t.entries, oldest.Value.(Key))
+	// Evict-before-insert is observably identical to the reference
+	// insert-then-evict: with bound ≥ 1 the victim is always the
+	// pre-insert LRU entry, never the newcomer.
+	if t.bound > 0 && t.count == t.bound {
+		victim := t.arena[0].prev
+		t.listUnlink(victim)
+		t.indexDelete(t.arena[victim].key)
+		t.arena[victim].next = t.free
+		t.free = victim
+		t.count--
 		t.stats.Evictions++
 	}
+	if 2*(t.count+1) > len(t.idxSlot) {
+		t.growIndex(t.count + 1)
+	}
+	s := t.alloc()
+	t.arena[s].key = key
+	t.listPushFront(s)
+	t.indexPut(key, s)
+	t.count++
+	t.stats.Inserts++
 }
 
 // Forget removes key from the table, reporting whether it was present.
@@ -147,12 +315,15 @@ func (t *Table) Train(key Key) {
 func (t *Table) Forget(key Key) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	el, ok := t.entries[key]
-	if !ok {
+	s := t.lookupSlot(key)
+	if s == 0 {
 		return false
 	}
-	t.lru.Remove(el)
-	delete(t.entries, key)
+	t.listUnlink(s)
+	t.indexDelete(key)
+	t.arena[s].next = t.free
+	t.free = s
+	t.count--
 	return true
 }
 
@@ -160,9 +331,9 @@ func (t *Table) Forget(key Key) bool {
 func (t *Table) Keys() []Key {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	keys := make([]Key, 0, len(t.entries))
-	for k := range t.entries {
-		keys = append(keys, k)
+	keys := make([]Key, 0, t.count)
+	for i := t.arena[0].next; i != 0; i = t.arena[i].next {
+		keys = append(keys, t.arena[i].key)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	return keys

@@ -40,11 +40,33 @@ func TestConfigValidation(t *testing.T) {
 		{SizeBytes: 100, BlockSize: 4096, FlushInterval: trace.Second, WakeInterval: trace.Second},
 		{SizeBytes: 8192, BlockSize: 4096, FlushInterval: 0, WakeInterval: trace.Second},
 		{SizeBytes: 8192, BlockSize: 4096, FlushInterval: trace.Second, WakeInterval: 0},
+		// A size that is not a whole number of blocks must be rejected, not
+		// silently truncated by Blocks().
+		{SizeBytes: 10000, BlockSize: 4096, FlushInterval: trace.Second, WakeInterval: trace.Second},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("config %d accepted", i)
 		}
+	}
+}
+
+func TestConfigRejectsPartialBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes += 1 // 256 KB + 1 byte: not a multiple of 4 KB
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("non-multiple SizeBytes accepted")
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a non-multiple SizeBytes")
+	}
+	// Exact multiples of any block size pass and divide exactly.
+	cfg.SizeBytes = 7 * cfg.BlockSize
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Blocks() != 7 {
+		t.Errorf("Blocks() = %d, want 7", cfg.Blocks())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcapsim/internal/fscache"
+	"pcapsim/internal/predictor"
 	"pcapsim/internal/trace"
 )
 
@@ -24,6 +25,11 @@ type procInfo struct {
 // at time t.
 func (p *procInfo) liveAt(t trace.Time) bool {
 	return p.start <= t && (!p.hasExit || p.exit > t)
+}
+
+// recycle clears the procInfo for reuse, keeping its accesses capacity.
+func (p *procInfo) recycle() {
+	*p = procInfo{accesses: p.accesses[:0]}
 }
 
 // execution is one application execution prepared for simulation: the
@@ -50,66 +56,132 @@ type execution struct {
 	end trace.Time
 }
 
-// prepare filters one execution trace through a fresh file cache and
-// indexes the resulting disk accesses for the runner.
-func prepare(tr *trace.Trace, cacheCfg fscache.Config) (*execution, error) {
-	cache, err := fscache.New(cacheCfg)
-	if err != nil {
-		return nil, err
+// runState is the pooled per-run scratch space of one RunSource call: the
+// drain buffer, the file cache (arena reset, not reallocated, between
+// executions), the filtered-event buffer, the prepared execution with all
+// of its slices and maps, and the runner-loop working set (per-pid
+// predictors, standing decisions, the service-completion schedule).
+//
+// Ownership discipline: a runState is owned by exactly one RunSource call
+// at a time (Runner keeps a sync.Pool of them), and everything inside it
+// is overwritten at the next execution's prepare — so nothing reachable
+// from a runState may be retained across executions, matching the
+// trace.Source borrowing contract for drained event slices.
+type runState struct {
+	buf      []trace.Event // drain buffer for purely streaming sources
+	view     trace.Trace   // reused Trace header over the drained events
+	cache    *fscache.Cache
+	filtered []trace.Event
+	ex       execution
+	procFree []*procInfo // recycled procInfo values
+
+	// runExecution working set.
+	serviceEnd []trace.Time
+	preds      map[trace.PID]predictor.Process
+	dec        map[trace.PID]decisionState
+	decided    []trace.PID
+}
+
+// getState fetches a runState compatible with the runner's configuration.
+func (r *Runner) getState() *runState {
+	if rs, ok := r.statePool.Get().(*runState); ok {
+		return rs
 	}
-	filtered, err := cache.Filter(tr.Events)
+	return &runState{
+		preds: make(map[trace.PID]predictor.Process),
+		dec:   make(map[trace.PID]decisionState),
+	}
+}
+
+// putState returns a runState to the pool for the next RunSource call.
+func (r *Runner) putState(rs *runState) {
+	// Drop predictor references so pooled states do not pin a finished
+	// run's learned state, and let go of the last drained event slice (it
+	// may be on loan from the source); the containers themselves are kept.
+	clear(rs.preds)
+	clear(rs.dec)
+	rs.view.Events = nil
+	r.statePool.Put(rs)
+}
+
+// prepare filters one execution trace through the run's file cache and
+// indexes the resulting disk accesses for the runner, reusing every buffer
+// from the previous execution.
+func (rs *runState) prepare(tr *trace.Trace, cacheCfg fscache.Config) (*execution, error) {
+	if rs.cache == nil {
+		cache, err := fscache.New(cacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		rs.cache = cache
+	} else {
+		rs.cache.Reset()
+	}
+	filtered, err := rs.cache.FilterInto(rs.filtered[:0], tr.Events)
 	if err != nil {
 		return nil, fmt.Errorf("sim: filtering %s/%d: %w", tr.App, tr.Execution, err)
 	}
-	ex := &execution{
-		app:        tr.App,
-		index:      tr.Execution,
-		procs:      make(map[trace.PID]*procInfo),
-		cacheStats: cache.Stats(),
-		end:        tr.Duration(),
+	rs.filtered = filtered
+
+	ex := &rs.ex
+	for _, p := range ex.procs {
+		p.recycle()
+		rs.procFree = append(rs.procFree, p)
 	}
+	if ex.procs == nil {
+		ex.procs = make(map[trace.PID]*procInfo)
+	} else {
+		clear(ex.procs)
+	}
+	ex.app = tr.App
+	ex.index = tr.Execution
+	ex.accesses = ex.accesses[:0]
+	ex.exits = ex.exits[:0]
+	ex.totalIOs = 0
+	ex.cacheStats = rs.cache.Stats()
+	ex.end = tr.Duration()
+
 	for _, e := range tr.Events {
 		if e.IsIO() {
 			ex.totalIOs++
 		}
 	}
-	proc := func(pid trace.PID, t trace.Time) *procInfo {
+	proc := func(pid trace.PID) *procInfo {
 		p, ok := ex.procs[pid]
 		if !ok {
 			// First sighting without a fork: a root process, alive from
 			// the start of the execution.
-			p = &procInfo{pid: pid}
+			p = rs.newProc(pid)
 			ex.procs[pid] = p
-			_ = t
 		}
 		return p
 	}
 	for _, e := range filtered {
 		switch e.Kind {
 		case trace.KindFork:
-			proc(e.Pid, e.Time)
+			proc(e.Pid)
 			child, ok := ex.procs[e.Child]
 			if !ok {
-				child = &procInfo{pid: e.Child}
+				child = rs.newProc(e.Child)
 				ex.procs[e.Child] = child
 			}
 			child.start = e.Time
 		case trace.KindExit:
-			p := proc(e.Pid, e.Time)
+			p := proc(e.Pid)
 			p.exit = e.Time
 			p.hasExit = true
 			ex.exits = append(ex.exits, e)
 		case trace.KindIO:
-			p := proc(e.Pid, e.Time)
+			p := proc(e.Pid)
 			idx := len(ex.accesses)
 			ex.accesses = append(ex.accesses, e)
 			p.accesses = append(p.accesses, idx)
 		}
 	}
 	// Index each access's successor within its own process.
-	ex.nextLocal = make([]int, len(ex.accesses))
-	for i := range ex.nextLocal {
-		ex.nextLocal[i] = -1
+	ex.nextLocal = ex.nextLocal[:0]
+	for range ex.accesses {
+		ex.nextLocal = append(ex.nextLocal, -1)
 	}
 	for _, p := range ex.procs {
 		for j := 0; j+1 < len(p.accesses); j++ {
@@ -117,4 +189,23 @@ func prepare(tr *trace.Trace, cacheCfg fscache.Config) (*execution, error) {
 		}
 	}
 	return ex, nil
+}
+
+// prepare prepares one execution with fresh, unpooled state — the seam
+// for cold paths (the machine-engine cross-validator) that work outside a
+// RunSource loop.
+func prepare(tr *trace.Trace, cacheCfg fscache.Config) (*execution, error) {
+	return (&runState{}).prepare(tr, cacheCfg)
+}
+
+// newProc takes a procInfo from the free list (or allocates one) and
+// labels it with pid.
+func (rs *runState) newProc(pid trace.PID) *procInfo {
+	if n := len(rs.procFree); n > 0 {
+		p := rs.procFree[n-1]
+		rs.procFree = rs.procFree[:n-1]
+		p.pid = pid
+		return p
+	}
+	return &procInfo{pid: pid}
 }

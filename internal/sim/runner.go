@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pcapsim/internal/disk"
 	"pcapsim/internal/fscache"
@@ -144,6 +145,10 @@ type Runner struct {
 	// PeriodHook, if non-nil, receives a record for every evaluated
 	// global idle period — a debugging and testing aid.
 	PeriodHook func(PeriodRecord)
+	// statePool recycles per-run scratch state (file cache arena, event
+	// buffers, per-pid maps) across RunSource calls, so repeated runs on
+	// one Runner allocate only what a single run's high-water mark needs.
+	statePool sync.Pool
 }
 
 // NewRunner returns a Runner, validating the configuration.
@@ -207,8 +212,13 @@ func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
 		newFactory = func() predictor.Factory { return predictor.NewOracle(breakeven) }
 	}
 	var f predictor.Factory
-	var buf []trace.Event // recycled drain buffer for purely streaming sources
-	view := &trace.Trace{}
+	rs := r.getState()
+	defer r.putState(rs)
+	// Sources that expose their current execution as a slice (ExecSlicer)
+	// lend that slice out only until their next NextExec; it must not be
+	// adopted as the reusable drain buffer, or a pooled runState could
+	// later scribble over a buffer the source has recycled elsewhere.
+	_, borrows := src.(trace.ExecSlicer)
 	for i := 0; ; i++ {
 		app, exec, ok := src.NextExec()
 		if !ok {
@@ -227,13 +237,16 @@ func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
 			}
 			f = nf
 		}
-		buf = trace.Drain(src, buf)
-		view.App, view.Execution, view.Events = app, exec, buf
-		ex, err := prepare(view, r.cfg.Cache)
+		events := trace.Drain(src, rs.buf)
+		if !borrows {
+			rs.buf = events
+		}
+		rs.view.App, rs.view.Execution, rs.view.Events = app, exec, events
+		ex, err := rs.prepare(&rs.view, r.cfg.Cache)
 		if err != nil {
 			return nil, err
 		}
-		if err := r.runExecution(ex, f, pol, res); err != nil {
+		if err := r.runExecution(ex, rs, f, pol, res); err != nil {
 			return nil, fmt.Errorf("sim: %s execution %d: %w", app, exec, err)
 		}
 		res.Executions++
@@ -257,8 +270,10 @@ type decisionState struct {
 	source predictor.Source
 }
 
-// runExecution replays one prepared execution under factory f.
-func (r *Runner) runExecution(ex *execution, f predictor.Factory, pol Policy, res *AppResult) error {
+// runExecution replays one prepared execution under factory f, using rs's
+// recycled working set (service schedule, per-pid predictor and decision
+// maps).
+func (r *Runner) runExecution(ex *execution, rs *runState, f predictor.Factory, pol Policy, res *AppResult) error {
 	d := &r.cfg.Disk
 	res.TotalIOs += ex.totalIOs
 	res.DiskAccesses += len(ex.accesses)
@@ -278,7 +293,11 @@ func (r *Runner) runExecution(ex *execution, f predictor.Factory, pol Policy, re
 
 	// Busy-time model: accesses queue FIFO; service i starts at
 	// max(arrival, previous completion).
-	serviceEnd := make([]trace.Time, len(ex.accesses))
+	serviceEnd := rs.serviceEnd[:0]
+	for range ex.accesses {
+		serviceEnd = append(serviceEnd, 0)
+	}
+	rs.serviceEnd = serviceEnd
 	var prevEnd trace.Time
 	for i, a := range ex.accesses {
 		start := a.Time
@@ -293,9 +312,14 @@ func (r *Runner) runExecution(ex *execution, f predictor.Factory, pol Policy, re
 	// Leading idle before the first access: the disk spins unmanaged.
 	r.accountIdle(res, 0, ex.accesses[0].Time)
 
-	preds := make(map[trace.PID]predictor.Process)
-	dec := make(map[trace.PID]decisionState)
-	var decided []trace.PID // sorted pids with decisions, for determinism
+	if rs.preds == nil {
+		rs.preds = make(map[trace.PID]predictor.Process)
+		rs.dec = make(map[trace.PID]decisionState)
+	}
+	preds, dec := rs.preds, rs.dec
+	clear(preds)
+	clear(dec)
+	decided := rs.decided[:0] // sorted pids with decisions, for determinism
 
 	for i, a := range ex.accesses {
 		pred, ok := preds[a.Pid]
@@ -334,8 +358,16 @@ func (r *Runner) runExecution(ex *execution, f predictor.Factory, pol Policy, re
 			st.ready = a.Time + decision.Delay
 		}
 		if _, had := dec[a.Pid]; !had {
-			decided = append(decided, a.Pid)
-			sort.Slice(decided, func(x, y int) bool { return decided[x] < decided[y] })
+			// Insert a.Pid at its sorted position (equivalent to the
+			// append-and-sort it replaces, without sort.Slice's allocation).
+			j := len(decided)
+			decided = append(decided, 0)
+			for j > 0 && decided[j-1] > a.Pid {
+				decided[j] = decided[j-1]
+				j--
+			}
+			decided[j] = a.Pid
+			rs.decided = decided
 		}
 		dec[a.Pid] = st
 

@@ -1,6 +1,35 @@
 package workload
 
-import "pcapsim/internal/trace"
+import (
+	"sync"
+
+	"pcapsim/internal/trace"
+)
+
+// eventBufPool recycles per-execution event buffers between Streams (and
+// therefore between the TraceCache's on-demand sources, which hand out
+// Streams). A Stream owns its buffer from its first NextExec until the
+// call that reports exhaustion, at which point the buffer returns to the
+// pool — consistent with the trace.ExecSlicer contract that borrowed
+// event slices are invalid after the next NextExec.
+var eventBufPool sync.Pool // of *[]trace.Event
+
+// getEventBuf fetches a recycled (empty, capacity-preserving) buffer.
+func getEventBuf() []trace.Event {
+	if p, ok := eventBufPool.Get().(*[]trace.Event); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+// putEventBuf returns a buffer to the pool.
+func putEventBuf(buf []trace.Event) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	eventBufPool.Put(&buf)
+}
 
 // Stream is a trace.Source that generates an application's executions on
 // demand, one at a time, into a single recycled event buffer. Peak memory
@@ -24,11 +53,19 @@ func (a *App) Stream(seed uint64) *Stream {
 }
 
 // NextExec implements trace.Source. It generates the next execution,
-// reusing the previous execution's buffer.
+// reusing the previous execution's buffer; the first call draws the
+// buffer from the shared pool and the exhausting call gives it back.
 func (s *Stream) NextExec() (string, int, bool) {
 	if s.next >= s.app.Executions {
-		s.pos = len(s.cur)
+		if s.cur != nil {
+			putEventBuf(s.cur)
+			s.cur = nil
+		}
+		s.pos = 0
 		return "", 0, false
+	}
+	if s.next == 0 && s.cur == nil {
+		s.cur = getEventBuf()
 	}
 	exec := s.next
 	s.next++
