@@ -10,7 +10,9 @@
 package pcapsim
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -486,16 +488,82 @@ func BenchmarkTableLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheFilter measures steady-state whole-trace filtering: the
+// cache and the output buffer are reused across iterations (Reset +
+// FilterInto), the same ownership discipline the simulator's pooled
+// runState applies (DESIGN.md §10) — 0 allocs/op.
 func BenchmarkCacheFilter(b *testing.B) {
 	app, _ := workload.ByName("nedit")
 	tr := app.Trace(experiments.DefaultSeed, 0)
+	c, err := fscache.New(fscache.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]trace.Event, 0, len(tr.Events))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := fscache.New(fscache.DefaultConfig())
-		if _, err := c.Filter(tr.Events); err != nil {
+		c.Reset()
+		out, err = c.FilterInto(out[:0], tr.Events)
+		if err != nil {
 			b.Fatal(err)
 		}
+		sinkInt += len(out)
 	}
+}
+
+// benchmarkDecode measures full-stream decode throughput of one on-disk
+// format: every execution of xemacs is encoded once, then each iteration
+// decodes the whole byte stream execution by execution through
+// trace.Drain — exactly how sim.RunSource consumes a file-backed source.
+// bytes/op is the encoded size; events/s is the decoded event rate.
+func benchmarkDecode(b *testing.B, encode func(io.Writer, *trace.Trace) error, open func(*bytes.Reader) trace.Source) {
+	b.Helper()
+	app, _ := workload.ByName("xemacs")
+	traces := app.Traces(experiments.DefaultSeed)
+	var buf bytes.Buffer
+	events := 0
+	for _, tr := range traces {
+		if err := encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		events += tr.Len()
+	}
+	data := buf.Bytes()
+	drained := make([]trace.Event, 0, 4096)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := open(bytes.NewReader(data))
+		n := 0
+		for {
+			if _, _, ok := src.NextExec(); !ok {
+				break
+			}
+			drained = trace.Drain(src, drained)
+			n += len(drained)
+		}
+		if err := src.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != events {
+			b.Fatalf("decoded %d events, want %d", n, events)
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkDecodeV1 is the row-oriented v1 binary decoder; the baseline
+// BenchmarkDecodeV2 is measured against.
+func BenchmarkDecodeV1(b *testing.B) {
+	benchmarkDecode(b, trace.WriteBinary, func(r *bytes.Reader) trace.Source { return trace.NewDecoder(r) })
+}
+
+// BenchmarkDecodeV2 is the columnar v2 block decoder (batched decode into
+// a pooled frame).
+func BenchmarkDecodeV2(b *testing.B) {
+	benchmarkDecode(b, trace.WriteColumnar, func(r *bytes.Reader) trace.Source { return trace.NewBlockSource(r) })
 }
 
 func BenchmarkTraceGeneration(b *testing.B) {

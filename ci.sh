@@ -46,10 +46,20 @@ fi
 # records the curated before/after numbers instead. The default filter is
 # the allocation-sensitive hot path; BENCH_FILTER='.' sweeps everything.
 bench_artifact="${BENCH_ARTIFACT:-bench.txt}"
-bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$}"
+bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$}"
 echo "== go test -bench (hot path) -benchmem (artifact: ${bench_artifact})"
 if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME:-1s}" . >"${bench_artifact}" 2>&1; then
 	grep '^Benchmark' "${bench_artifact}" || true
+	# Machine-readable perf trajectory: benchmark name → iterations and
+	# every metric (ns/op, B/op, allocs/op, ios/s, events/s, ...). The
+	# JSON is committed per PR so perf history survives in-repo; schema
+	# in EXPERIMENTS.md. Non-blocking like the benchmarks themselves.
+	bench_json="${BENCH_JSON:-BENCH_PR4.json}"
+	if go run ./cmd/benchjson -o "${bench_json}" "${bench_artifact}"; then
+		echo "ci: wrote ${bench_json}"
+	else
+		echo "ci: benchjson failed (non-blocking)" >&2
+	fi
 else
 	echo "ci: benchmarks failed (non-blocking); see ${bench_artifact}" >&2
 fi

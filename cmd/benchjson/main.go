@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so a PR's perf numbers can be archived
+// and diffed across commits without scraping benchmark text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson
+//	benchjson -o BENCH_PR4.json bench.txt
+//
+// Every benchmark line becomes one entry mapping the benchmark name to
+// its iteration count and every reported metric (ns/op, B/op, allocs/op,
+// MB/s, plus custom b.ReportMetric units like ios/s or events/s). The
+// schema is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report is the top-level JSON document.
+type report struct {
+	// Schema identifies the document layout; bump on breaking changes.
+	Schema string `json:"schema"`
+	// Goos/Goarch/CPU/Pkg echo the benchmark run's environment header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks holds one entry per benchmark result line, in input
+	// order. Repeated -count runs of one benchmark yield repeated
+	// entries.
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// benchmark is one `BenchmarkX  N  <value> <unit> ...` line.
+type benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported metric (ns/op, B/op,
+	// allocs/op, MB/s, and custom units such as ios/s or events/s).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := "-"
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "-o" {
+		out = args[1]
+		args = args[2:]
+	}
+	var in io.Reader = os.Stdin
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fatal(fmt.Errorf("usage: benchjson [-o out.json] [bench.txt]"))
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(out, data, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// parse scans benchmark output: environment header lines (goos/goarch/
+// cpu/pkg), then `Benchmark<Name>[-P] <N> <value> <unit> ...` result
+// lines. Anything else (PASS, ok, test logs) is skipped.
+func parse(in io.Reader) (*report, error) {
+	rep := &report{Schema: "pcapsim-bench/v1"}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line needs a name, an iteration count, and at least one
+		// value/unit pair; "Benchmark" alone or status lines do not parse.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

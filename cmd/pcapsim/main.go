@@ -6,6 +6,7 @@
 //	pcapsim -exp all
 //	pcapsim -exp fig7 -seed 42
 //	pcapsim -exp table1,fig6,fig8 -parallel 8
+//	pcapsim -replay traces/mozilla-000.pct2 -policies base,tp,pcap,ideal
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
 // tpsweep, multistate, predictors, devices, prefetch, and "all".
@@ -14,6 +15,10 @@
 // per CPU). Output is deterministic: the same seed produces byte-identical
 // tables and figures at any worker count. Wall-clock is reported on
 // stderr so stdout stays byte-comparable.
+//
+// -replay runs a recorded trace file (v1 binary, v2 columnar or text;
+// the format is sniffed from the leading bytes) through the simulator
+// under the -policies list instead of the generated workloads.
 //
 // For profiling the simulation hot path, -cpuprofile and -memprofile
 // write pprof files covering the whole run:
@@ -43,6 +48,8 @@ func main() {
 		parallelFlag = flag.Int("parallel", runtime.NumCPU(), "worker count for the experiment matrix (1 = serial)")
 		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
+		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments")
+		policiesFlag = flag.String("policies", "base,tp,pcap,ideal", "comma-separated policies for -replay ("+strings.Join(experiments.ReplayPolicyNames(), ",")+")")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to the given file")
 	)
@@ -91,6 +98,24 @@ func main() {
 	}
 	suite.SetScale(*scaleFlag)
 	suite.SetOnDemand(*onDemandFlag)
+
+	if *replayFlag != "" {
+		var policies []string
+		for _, p := range strings.Split(*policiesFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				policies = append(policies, p)
+			}
+		}
+		start := time.Now()
+		out, err := suite.ReplayFile(*replayFlag, policies)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "pcapsim: replay of %s in %s\n",
+			*replayFlag, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	order := experiments.ExperimentNames()
 	known := map[string]bool{}

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	tracegen -app mozilla -out traces/            # all executions, binary
+//	tracegen -app mozilla -out traces/            # all executions, v1 binary
+//	tracegen -app mozilla -format v2 -out traces/ # columnar v2 container
 //	tracegen -app nedit -exec 3 -format text -out .   # one execution, text
 //	tracegen -app all -out traces/
 package main
@@ -28,7 +29,7 @@ func main() {
 		appFlag    = flag.String("app", "all", "application name or 'all'")
 		execFlag   = flag.Int("exec", -1, "single execution index (default: all)")
 		seedFlag   = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
-		formatFlag = flag.String("format", "binary", "output format: binary or text")
+		formatFlag = flag.String("format", "binary", "output format: binary, v2 or text")
 		outFlag    = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
@@ -43,7 +44,7 @@ func main() {
 		}
 		apps = []*workload.App{a}
 	}
-	if *formatFlag != "binary" && *formatFlag != "text" {
+	if *formatFlag != "binary" && *formatFlag != "v2" && *formatFlag != "text" {
 		fatal(fmt.Errorf("unknown format %q", *formatFlag))
 	}
 	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
@@ -67,8 +68,11 @@ func main() {
 				continue
 			}
 			ext := "pctr"
-			if *formatFlag == "text" {
+			switch *formatFlag {
+			case "text":
 				ext = "txt"
+			case "v2":
+				ext = "pct2"
 			}
 			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%03d.%s", app, exec, ext))
 			if err := writeTrace(path, app, exec, events, *formatFlag); err != nil {
@@ -87,12 +91,26 @@ func writeTrace(path, app string, exec int, events []trace.Event, format string)
 		return err
 	}
 	defer f.Close()
-	if format == "text" {
+	switch format {
+	case "text":
 		view := &trace.Trace{App: app, Execution: exec, Events: events}
 		if err := trace.WriteText(f, view); err != nil {
 			return err
 		}
-	} else {
+	case "v2":
+		enc, err := trace.NewBlockEncoder(f, app, exec, len(events))
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			if err := enc.Write(e); err != nil {
+				return err
+			}
+		}
+		if err := enc.Close(); err != nil {
+			return err
+		}
+	default:
 		enc, err := trace.NewEncoder(f, app, exec, len(events))
 		if err != nil {
 			return err

@@ -7,10 +7,16 @@
 // concatenated across executions) inspect in constant memory. Files
 // holding several executions get one summary block per execution.
 //
+// The input format (v1 binary, v2 columnar or text) is auto-detected
+// from the leading magic bytes. For v2 columnar files, -blocks prints a
+// per-block report: events per block, encoded bytes per event, and the
+// per-column compression ratio against the raw struct-of-arrays size.
+//
 // Usage:
 //
 //	traceinspect traces/mozilla-000.pctr
 //	traceinspect -head 25 -breakeven 5.43 traces/nedit-003.pctr
+//	traceinspect -blocks traces/mozilla-000.pct2
 package main
 
 import (
@@ -26,7 +32,8 @@ func main() {
 	var (
 		headFlag      = flag.Int("head", 0, "print the first N events of each execution as text")
 		breakevenFlag = flag.Float64("breakeven", 5.43, "breakeven time in seconds for idle-period stats")
-		formatFlag    = flag.String("format", "auto", "input format: binary, text or auto")
+		formatFlag    = flag.String("format", "auto", "input format: binary, v2, text or auto")
+		blocksFlag    = flag.Bool("blocks", false, "print per-block stats (v2 columnar files only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -37,6 +44,12 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+	if *blocksFlag {
+		if err := inspectBlocks(f); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	src, err := open(f, *formatFlag)
 	if err != nil {
 		fatal(err)
@@ -152,29 +165,91 @@ func inspect(src trace.Source, app string, exec int, head int, breakeven float64
 	}
 }
 
-// open wraps the file in the right streaming decoder, sniffing the binary
-// magic when the format is auto.
+// open wraps the file in the right streaming decoder, sniffing the
+// leading magic bytes when the format is auto.
 func open(f *os.File, format string) (trace.Source, error) {
 	switch format {
 	case "binary":
 		return trace.NewDecoder(f), nil
+	case "v2":
+		return trace.NewBlockSource(f), nil
 	case "text":
 		return trace.NewTextDecoder(f), nil
 	case "auto":
-		var magic [4]byte
-		if _, err := f.Read(magic[:]); err != nil {
-			return nil, err
-		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return nil, err
-		}
-		if string(magic[:]) == "PCTR" {
-			return trace.NewDecoder(f), nil
-		}
-		return trace.NewTextDecoder(f), nil
+		return trace.NewSniffedSource(f)
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// inspectBlocks walks a v2 columnar file frame by frame and reports the
+// container-level shape of each execution: per-block event counts and
+// encoded bytes per event, then per-column encoded sizes against the raw
+// struct-of-arrays sizes they decode into.
+func inspectBlocks(f *os.File) error {
+	src := trace.NewFrameSource(f)
+	d := src.Decoder()
+	execs := 0
+	for {
+		app, exec, ok := src.NextExec()
+		if !ok {
+			break
+		}
+		if execs > 0 {
+			fmt.Println()
+		}
+		execs++
+		fmt.Printf("app %s execution %d (%d events declared)\n", app, exec, d.Count())
+		fmt.Println("  block  events    ios  forks    bytes  bytes/event")
+		var (
+			blocks     int
+			events     int
+			encoded    int
+			colEncoded [trace.NumColumns]int
+			colRaw     [trace.NumColumns]int
+		)
+		for {
+			frame, ok := src.NextFrame()
+			if !ok {
+				break
+			}
+			st := d.BlockStats()
+			total := st.HeaderBytes + st.PayloadBytes
+			fmt.Printf("  %5d  %6d %6d %6d %8d %12.2f\n",
+				st.Index, st.Events, st.IOs, st.Forks, total,
+				float64(total)/float64(st.Events))
+			blocks++
+			events += frame.Len()
+			encoded += total
+			for i := 0; i < trace.NumColumns; i++ {
+				colEncoded[i] += st.ColBytes[i]
+				colRaw[i] += st.RawColBytes(i)
+			}
+		}
+		if err := src.Err(); err != nil {
+			return err
+		}
+		if blocks == 0 {
+			continue
+		}
+		fmt.Printf("  total: %d blocks, %d events, %d bytes (%.2f bytes/event)\n",
+			blocks, events, encoded, float64(encoded)/float64(events))
+		fmt.Println("\n  column   encoded      raw  ratio")
+		for i := 0; i < trace.NumColumns; i++ {
+			if colRaw[i] == 0 {
+				continue
+			}
+			fmt.Printf("  %-7s %8d %8d  %5.1f%%\n", trace.ColumnName(i),
+				colEncoded[i], colRaw[i], 100*float64(colEncoded[i])/float64(colRaw[i]))
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if execs == 0 {
+		return fmt.Errorf("%s: no executions found (not a v2 columnar trace?)", f.Name())
+	}
+	return nil
 }
 
 func fatal(err error) {

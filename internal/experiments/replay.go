@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pcapsim/internal/core"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+)
+
+// Trace replay: run recorded trace files (any on-disk format — v1 binary,
+// v2 columnar or text) through the simulator under a chosen set of
+// policies, without going through the synthetic workload generator. This
+// is the path external traces take into the simulator.
+
+// replayPolicyNames lists the policy names PolicyByName accepts, in
+// render order.
+var replayPolicyNames = []string{
+	"base", "tp", "lt", "lta", "pcap", "pcaph", "pcapf", "pcapfh", "pcapa", "ideal",
+}
+
+// ReplayPolicyNames returns the policy names accepted by PolicyByName.
+func ReplayPolicyNames() []string {
+	return append([]string(nil), replayPolicyNames...)
+}
+
+// PolicyByName resolves a case-insensitive policy name ("base", "tp",
+// "lt", "lta", "pcap", "pcaph", "pcapf", "pcapfh", "pcapa", "ideal") to
+// the suite's policy of that name.
+func (s *Suite) PolicyByName(name string) (sim.Policy, bool) {
+	switch strings.ToLower(name) {
+	case "base":
+		return s.PolicyBase(), true
+	case "tp":
+		return s.PolicyTP(), true
+	case "lt":
+		return s.PolicyLT(), true
+	case "lta":
+		return s.PolicyLTa(), true
+	case "pcap":
+		return s.PolicyPCAP(core.VariantBase), true
+	case "pcaph":
+		return s.PolicyPCAP(core.VariantH), true
+	case "pcapf":
+		return s.PolicyPCAP(core.VariantF), true
+	case "pcapfh":
+		return s.PolicyPCAP(core.VariantFH), true
+	case "pcapa":
+		return s.PolicyPCAPa(), true
+	case "ideal":
+		return s.PolicyIdeal(), true
+	default:
+		return sim.Policy{}, false
+	}
+}
+
+// ReplaySource runs every named policy over the source and renders one
+// result row per policy. The source is Reset between policies, so it must
+// be resettable (file-backed sources are). Energy savings are reported
+// against the first policy's energy, so leading with "base" gives the
+// paper's savings-versus-always-on numbers.
+func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error) {
+	if len(policies) == 0 {
+		policies = []string{"base", "tp", "pcap", "ideal"}
+	}
+	tbl := newTable("Policy", "Execs", "I/Os", "Disk", "Energy (J)", "Savings", "Shutdowns", "Wakeups", "Wait (s)")
+	var baseline float64
+	for i, name := range policies {
+		pol, ok := s.PolicyByName(name)
+		if !ok {
+			return "", fmt.Errorf("experiments: unknown policy %q (known: %s)",
+				name, strings.Join(replayPolicyNames, ", "))
+		}
+		if i > 0 {
+			if err := src.Reset(); err != nil {
+				return "", fmt.Errorf("experiments: resetting trace source: %w", err)
+			}
+		}
+		res, err := s.runner.RunSource(src, pol)
+		if err != nil {
+			return "", fmt.Errorf("experiments: replay under %s: %w", pol.Name, err)
+		}
+		total := res.Energy.Total()
+		savings := "—"
+		if i == 0 {
+			baseline = total
+		} else if baseline > 0 {
+			savings = pct(1 - total/baseline)
+		}
+		tbl.Row(pol.Name,
+			fmt.Sprintf("%d", res.Executions),
+			fmt.Sprintf("%d", res.TotalIOs),
+			fmt.Sprintf("%d", res.DiskAccesses),
+			fmt.Sprintf("%.1f", total),
+			savings,
+			fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%d", res.Wakeups),
+			fmt.Sprintf("%.1f", res.WaitTime.Seconds()))
+	}
+	return tbl.String(), nil
+}
+
+// ReplayFile opens a trace file (v1 binary, v2 columnar or text — the
+// format is sniffed from the leading bytes) and replays it under the
+// named policies; see ReplaySource.
+func (s *Suite) ReplayFile(path string, policies []string) (string, error) {
+	fs, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return "", err
+	}
+	defer fs.Close()
+	out, err := s.ReplaySource(fs, policies)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("replay %s\n\n%s", path, out), nil
+}

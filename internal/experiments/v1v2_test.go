@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// encodeApp writes every execution of app to w in the requested format
+// ("v1" or "v2") and returns the encoded size in bytes.
+func encodeApp(t *testing.T, w *bytes.Buffer, traces []*trace.Trace, format string) int {
+	t.Helper()
+	start := w.Len()
+	for _, tr := range traces {
+		var err error
+		switch format {
+		case "v1":
+			err = trace.WriteBinary(w, tr)
+		case "v2":
+			err = trace.WriteColumnar(w, tr)
+		default:
+			t.Fatalf("unknown format %q", format)
+		}
+		if err != nil {
+			t.Fatalf("%s encode of %s/%d: %v", format, tr.App, tr.Execution, err)
+		}
+	}
+	return w.Len() - start
+}
+
+// TestV1V2Equivalence is the differential gate for the columnar format:
+// for every workload app, the v1 and v2 encodings of the same executions
+// must decode to identical events, the v2 file must be at most 60% of the
+// v1 size, and RunSource over a v2 round trip must produce results
+// %+v-identical to RunApp over the in-memory traces for every policy.
+// Under -short (the ci.sh -race pass) the app × policy matrix is trimmed.
+func TestV1V2Equivalence(t *testing.T) {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := s.Apps()
+	policies := []string{"base", "tp", "lt", "lta", "pcap", "pcaph", "pcapf", "pcapfh", "pcapa", "ideal"}
+	if testing.Short() {
+		apps = apps[:2]
+		policies = []string{"base", "tp", "pcap", "ideal"}
+	}
+
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			traces := s.Traces(app)
+
+			var v1, v2 bytes.Buffer
+			v1Size := encodeApp(t, &v1, traces, "v1")
+			v2Size := encodeApp(t, &v2, traces, "v2")
+
+			// Event-for-event decode equivalence, against each other and
+			// against the in-memory originals.
+			d1, err := trace.Collect(trace.NewDecoder(bytes.NewReader(v1.Bytes())))
+			if err != nil {
+				t.Fatalf("v1 decode: %v", err)
+			}
+			d2, err := trace.Collect(trace.NewBlockSource(bytes.NewReader(v2.Bytes())))
+			if err != nil {
+				t.Fatalf("v2 decode: %v", err)
+			}
+			if len(d1) != len(traces) || len(d2) != len(traces) {
+				t.Fatalf("decoded %d (v1) / %d (v2) executions, want %d", len(d1), len(d2), len(traces))
+			}
+			for i := range traces {
+				if !reflect.DeepEqual(d1[i], traces[i]) {
+					t.Fatalf("v1 round trip of %s/%d diverges from the original", app.Name, i)
+				}
+				if !reflect.DeepEqual(d2[i], traces[i]) {
+					t.Fatalf("v2 round trip of %s/%d diverges from the original", app.Name, i)
+				}
+			}
+
+			// Size gate: the columnar container must stay at or below 60% of
+			// the v1 encoding for every app (acceptance criterion).
+			if ratio := float64(v2Size) / float64(v1Size); ratio > 0.60 {
+				t.Errorf("v2 size %d is %.1f%% of v1 size %d, want <= 60%%", v2Size, 100*ratio, v1Size)
+			} else {
+				t.Logf("v2 %d bytes = %.1f%% of v1 %d bytes", v2Size, 100*ratio, v1Size)
+			}
+
+			// Simulation equivalence: RunSource over the v2 byte stream must
+			// match RunApp over the in-memory traces for every policy.
+			runner := sim.MustNewRunner(s.Config())
+			for _, name := range policies {
+				pol, ok := s.PolicyByName(name)
+				if !ok {
+					t.Fatalf("unknown policy %q", name)
+				}
+				want, err := runner.RunApp(traces, pol)
+				if err != nil {
+					t.Fatalf("RunApp under %s: %v", pol.Name, err)
+				}
+				got, err := runner.RunSource(trace.NewBlockSource(bytes.NewReader(v2.Bytes())), pol)
+				if err != nil {
+					t.Fatalf("RunSource(v2) under %s: %v", pol.Name, err)
+				}
+				if w, g := fmt.Sprintf("%+v", want), fmt.Sprintf("%+v", got); w != g {
+					t.Errorf("RunSource over v2 diverges from RunApp under %s\nwant %s\ngot  %s", pol.Name, w, g)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayFileMatchesRunApp closes the loop on the CLI replay path: a
+// v2 file written by the tracegen path and replayed through
+// Suite.ReplaySource yields the same table as replaying the in-memory
+// slice source.
+func TestReplayFileMatchesRunApp(t *testing.T) {
+	s, err := NewSuite(DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("nedit")
+	traces := s.Traces(app)
+	var v2 bytes.Buffer
+	encodeApp(t, &v2, traces, "v2")
+
+	policies := []string{"base", "tp", "pcap", "ideal"}
+	fromFile, err := s.ReplaySource(trace.NewBlockSource(bytes.NewReader(v2.Bytes())), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSlice, err := s.ReplaySource(trace.NewSliceSource(traces...), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile != fromSlice {
+		t.Errorf("replay over v2 bytes diverges from replay over the slice source:\n%s\nvs\n%s", fromFile, fromSlice)
+	}
+	if _, err := s.ReplaySource(trace.NewSliceSource(traces...), []string{"nope"}); err == nil {
+		t.Error("ReplaySource accepted an unknown policy name")
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// Format sniffing: every tool accepts v1 binary, v2 columnar and text
+// traces interchangeably by looking at the leading magic bytes.
+
+// NewSniffedSource returns a streaming Source over r, selecting the
+// decoder from the leading four bytes: "PCTR" is the v1 binary format,
+// "PCT2" the v2 columnar format, anything else the text format. The
+// reader is rewound to the start before the decoder is built.
+func NewSniffedSource(r io.ReadSeeker) (Source, error) {
+	var magic [4]byte
+	n, err := io.ReadFull(r, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	switch {
+	case n == len(magic) && string(magic[:]) == binaryMagic:
+		return NewDecoder(r), nil
+	case n == len(magic) && string(magic[:]) == blockFileMagic:
+		return NewBlockSource(r), nil
+	default:
+		return NewTextDecoder(r), nil
+	}
+}
+
+// FileSource is a Source over an opened trace file; Close releases the
+// file handle.
+type FileSource struct {
+	Source
+	f *os.File
+}
+
+// Close closes the underlying file.
+func (fs *FileSource) Close() error { return fs.f.Close() }
+
+// Name returns the path the source was opened from.
+func (fs *FileSource) Name() string { return fs.f.Name() }
+
+// OpenTraceFile opens path and returns a streaming, resettable Source
+// over it, sniffing the format (v1 binary, v2 columnar or text) from the
+// file's first bytes. The caller owns the Close.
+func OpenTraceFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewSniffedSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{Source: src, f: f}, nil
+}

@@ -46,6 +46,16 @@ type ExecSlicer interface {
 	ExecEvents() []Event
 }
 
+// ExecAppender is the batch counterpart of ExecSlicer for sources that
+// decode into reusable internal state rather than holding a lendable
+// slice (BlockSource over its pooled frame). AppendExec appends the
+// remaining events of the current execution to buf and exhausts the
+// execution; the returned slice is caller-owned. Drain prefers it over
+// the event-at-a-time Next loop.
+type ExecAppender interface {
+	AppendExec(buf []Event) []Event
+}
+
 // SliceSource adapts materialized traces to the Source interface — the
 // back-compatibility bridge between []*Trace workloads and streaming
 // consumers. The traces are shared read-only, never copied.
@@ -109,6 +119,9 @@ func (s *SliceSource) Reset() error {
 func Drain(src Source, buf []Event) []Event {
 	if es, ok := src.(ExecSlicer); ok {
 		return es.ExecEvents()
+	}
+	if ea, ok := src.(ExecAppender); ok {
+		return ea.AppendExec(buf[:0])
 	}
 	buf = buf[:0]
 	for {
