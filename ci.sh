@@ -25,6 +25,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+# Blocking: the repo's own static-analysis suite (internal/lint). Any
+# finding — determinism, pool-ownership, error-handling, or a malformed
+# suppression directive — fails the gate; fix it or suppress it with a
+# reasoned //pcaplint:ignore.
+echo "== pcaplint ./..."
+go run ./cmd/pcaplint ./...
+
 echo "== go test ./..."
 go test ./...
 
@@ -54,7 +61,7 @@ if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME
 	# every metric (ns/op, B/op, allocs/op, ios/s, events/s, ...). The
 	# JSON is committed per PR so perf history survives in-repo; schema
 	# in EXPERIMENTS.md. Non-blocking like the benchmarks themselves.
-	bench_json="${BENCH_JSON:-BENCH_PR4.json}"
+	bench_json="${BENCH_JSON:-BENCH_PR5.json}"
 	if go run ./cmd/benchjson -o "${bench_json}" "${bench_artifact}"; then
 		echo "ci: wrote ${bench_json}"
 	else

@@ -64,7 +64,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //pcaplint:ignore errcheck-lite file opened read-only; a close failure cannot lose data
 		in = f
 	default:
 		fatal(fmt.Errorf("usage: benchjson [-o out.json] [bench.txt]"))

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// benchFixture is a canned `go test -bench` transcript: environment
+// header, plain and -benchmem result lines, a custom b.ReportMetric
+// unit, a repeated -count entry, test chatter, and two malformed lines
+// (a truncated result and a non-numeric count) that must be skipped.
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: pcapsim/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkSimulate-8   	     100	  11500000 ns/op	 5242880 B/op	      12 allocs/op
+BenchmarkSimulate-8   	     102	  11400000 ns/op	 5242881 B/op	      12 allocs/op
+BenchmarkDecode-8     	    5000	    240000 ns/op	  880.21 MB/s	  104857 events/s
+BenchmarkBroken-8     	    5000
+BenchmarkAlsoBroken-8 	    many	    240000 ns/op
+--- BENCH: BenchmarkSimulate-8
+    sim_test.go:42: warmup done
+PASS
+ok  	pcapsim/internal/sim	4.2s
+`
+
+func TestParseFixture(t *testing.T) {
+	rep, err := parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "pcapsim-bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "pcapsim/internal/sim" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %q/%q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3 (malformed lines must be skipped): %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkSimulate" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Iterations != 100 {
+		t.Errorf("iterations = %d, want 100", first.Iterations)
+	}
+	if first.Metrics["ns/op"] != 11500000 || first.Metrics["B/op"] != 5242880 || first.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics = %v", first.Metrics)
+	}
+
+	// Repeated -count runs stay as separate entries in input order.
+	second := rep.Benchmarks[1]
+	if second.Name != "BenchmarkSimulate" || second.Iterations != 102 {
+		t.Errorf("repeated entry = %q/%d", second.Name, second.Iterations)
+	}
+
+	// Custom b.ReportMetric units ride along with the standard ones.
+	decode := rep.Benchmarks[2]
+	if decode.Metrics["MB/s"] != 880.21 || decode.Metrics["events/s"] != 104857 {
+		t.Errorf("decode metrics = %v", decode.Metrics)
+	}
+}
+
+// TestRoundTrip pins the JSON wire shape: marshal the parsed report and
+// decode it back, so a schema drift breaks loudly here rather than in
+// whatever later consumes the committed BENCH_*.json artifacts.
+func TestRoundTrip(t *testing.T) {
+	rep, err := parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || back.Pkg != rep.Pkg || len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip changed the document: %+v vs %+v", back, rep)
+	}
+	for i := range back.Benchmarks {
+		a, b := rep.Benchmarks[i], back.Benchmarks[i]
+		if a.Name != b.Name || a.Iterations != b.Iterations || len(a.Metrics) != len(b.Metrics) {
+			t.Errorf("benchmark %d changed: %+v vs %+v", i, a, b)
+		}
+		for unit, v := range a.Metrics {
+			if b.Metrics[unit] != v {
+				t.Errorf("benchmark %d metric %s: %v vs %v", i, unit, v, b.Metrics[unit])
+			}
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok  \tpcapsim\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %+v, want none", rep.Benchmarks)
+	}
+}

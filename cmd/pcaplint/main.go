@@ -1,0 +1,88 @@
+// Command pcaplint runs the module's static-analysis suite
+// (internal/lint) over the repository: stdlib-only analyzers that
+// enforce the determinism, pool-ownership, and error-handling contracts
+// of DESIGN.md §§8, 10 and 11 at the source level.
+//
+// Usage:
+//
+//	pcaplint ./...                      # whole module (the ci.sh gate)
+//	pcaplint ./internal/sim ./cmd/...   # a package and a subtree
+//	pcaplint -list                      # describe the analyzers
+//	pcaplint -only detmap,poolsafe ./...
+//	pcaplint -skip errcheck-lite -json ./...
+//
+// Findings print as `file:line: [analyzer] message` (or a JSON array
+// with -json) and make the exit status 1; load or usage errors exit 2.
+// Suppress an individual finding with an inline directive on or directly
+// above its line — the reason is mandatory:
+//
+//	//pcaplint:ignore detmap free-list order is reset before reuse
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pcapsim/internal/lint"
+)
+
+func main() {
+	var (
+		jsonFlag = flag.Bool("json", false, "emit findings as a JSON array")
+		listFlag = flag.Bool("list", false, "list analyzers and exit")
+		onlyFlag = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skipFlag = flag.String("skip", "", "comma-separated analyzers to skip")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(*onlyFlag, *skipFlag)
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.RunModule(root, analyzers, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonFlag {
+		if findings == nil {
+			findings = []lint.Finding{} // a clean run is [], not null
+		}
+		out, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, '\n')
+		if _, err := os.Stdout.Write(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonFlag {
+			fmt.Printf("pcaplint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcaplint:", err)
+	os.Exit(2)
+}

@@ -84,10 +84,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "pcapsim: -memprofile:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // profile only live, post-run memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "pcapsim: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pcapsim: closing mem profile:", err)
 			}
 		}()
 	}

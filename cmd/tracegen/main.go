@@ -85,12 +85,18 @@ func main() {
 	}
 }
 
-func writeTrace(path, app string, exec int, events []trace.Event, format string) error {
+func writeTrace(path, app string, exec int, events []trace.Event, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close after a clean encode still means a truncated
+		// trace file; surface it.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	switch format {
 	case "text":
 		view := &trace.Trace{App: app, Execution: exec, Events: events}
@@ -124,7 +130,7 @@ func writeTrace(path, app string, exec int, events []trace.Event, format string)
 			return err
 		}
 	}
-	return f.Close()
+	return nil
 }
 
 func fatal(err error) {

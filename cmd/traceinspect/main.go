@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer f.Close() //pcaplint:ignore errcheck-lite file opened read-only; a close failure cannot lose data
 	if *blocksFlag {
 		if err := inspectBlocks(f); err != nil {
 			fatal(err)

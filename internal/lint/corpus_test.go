@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The corpora under testdata/ are this repo's stand-in for
+// golang.org/x/tools' analysistest: each corpus file marks expected
+// findings with `// want "regex"` trailing comments, or
+// `// want +N "regex"` on a nearby line when the finding's own line
+// already carries a directive comment. Every corpus holds at least one
+// true positive, one true negative, and one suppressed finding per
+// analyzer.
+
+// corpusFset and corpusImporter are shared across corpus tests: the
+// source importer re-checks stdlib packages from $GOROOT/src, which is
+// the dominant cost, and its cache lives inside the importer instance.
+var (
+	corpusFset     = token.NewFileSet()
+	corpusImporter = importer.ForCompiler(corpusFset, "source", nil)
+)
+
+// loadCorpus parses and type-checks testdata/<dir> as if it were the
+// module package pcapsim/<relPath>, so analyzer scoping (resultAffecting,
+// errcheckScope) applies exactly as it would on real code.
+func loadCorpus(t *testing.T, dir, relPath string) (*Module, *Package) {
+	t.Helper()
+	absDir, err := filepath.Abs(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(absDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(corpusFset, filepath.Join(absDir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files in %s", absDir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	path := "pcapsim/" + relPath
+	conf := types.Config{Importer: corpusImporter}
+	tpkg, err := conf.Check(path, corpusFset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking corpus %s: %v", dir, err)
+	}
+	pkg := &Package{Path: path, RelPath: relPath, Dir: absDir, Files: files, Types: tpkg, Info: info}
+	mod := &Module{
+		Root:          absDir,
+		Path:          "pcapsim",
+		Fset:          corpusFset,
+		Packages:      []*Package{pkg},
+		ownerTransfer: ownerTransferFuncs(info, files),
+	}
+	return mod, pkg
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(?:\+(\d+)\s+)?"(.*)"\s*$`)
+
+type wantMark struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants extracts every `// want` expectation from the corpus's
+// comments. The optional `+N` offset moves the expected line N lines
+// below the comment, for findings whose own line is occupied by a
+// directive under test.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []wantMark {
+	t.Helper()
+	var wants []wantMark
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[2], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, wantMark{
+					file: pos.Filename,
+					line: pos.Line + offset,
+					re:   re,
+					raw:  m[2],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// runCorpus runs the analyzers over one corpus package and checks the
+// findings against its want marks, in both directions: every finding
+// must be wanted, every want must be found.
+func runCorpus(t *testing.T, dir, relPath string, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	mod, pkg := loadCorpus(t, dir, relPath)
+	got := runPackage(mod, pkg, analyzers, KnownNames())
+	sortFindings(got)
+	wants := collectWants(t, mod.Fset, pkg.Files)
+	for _, f := range got {
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+	return got
+}
+
+func TestDetMapCorpus(t *testing.T) {
+	runCorpus(t, "detmap", "internal/sim", DetMap)
+}
+
+func TestNondetSourceCorpus(t *testing.T) {
+	runCorpus(t, "nondet", "internal/sim", NondetSource)
+}
+
+func TestPoolSafeCorpus(t *testing.T) {
+	runCorpus(t, "poolsafe", "internal/pool", PoolSafe)
+}
+
+func TestErrcheckLiteCorpus(t *testing.T) {
+	runCorpus(t, "errcheck", "internal/trace", ErrcheckLite)
+}
+
+// TestFrameworkDirectives runs no analyzers at all: every expected
+// finding comes from the directive layer itself — unknown analyzer
+// names, missing reasons, unknown verbs, misplaced owner-transfer.
+func TestFrameworkDirectives(t *testing.T) {
+	got := runCorpus(t, "framework", "internal/framework")
+	for _, f := range got {
+		if f.Analyzer != FrameworkName {
+			t.Errorf("framework corpus produced a non-framework finding: %s", f)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("framework corpus produced no directive errors")
+	}
+}
+
+// TestScopedAnalyzersSkipOtherPackages pins the scoping contract: the
+// same corpus that fires in a result-affecting package is silent when
+// type-checked as a package outside the analyzer's scope.
+func TestScopedAnalyzersSkipOtherPackages(t *testing.T) {
+	mod, pkg := loadCorpus(t, "nondet", "internal/lint")
+	if got := runPackage(mod, pkg, []*Analyzer{NondetSource}, KnownNames()); len(got) != 0 {
+		t.Errorf("nondet-source fired outside result-affecting packages: %v", got)
+	}
+	mod, pkg = loadCorpus(t, "errcheck", "internal/sim")
+	if got := runPackage(mod, pkg, []*Analyzer{ErrcheckLite}, KnownNames()); len(got) != 0 {
+		t.Errorf("errcheck-lite fired outside its scope: %v", got)
+	}
+}
+
+// TestTreeIsClean is the merge gate in miniature: the repository itself
+// must lint clean with every analyzer enabled.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(root, All(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("tree not pcaplint-clean: %s", f)
+	}
+}
+
+// TestRunModuleFindsSeededViolation proves the non-zero-exit acceptance
+// path end to end: a fresh module with a true positive in a checked
+// package produces findings through the same RunModule entry point
+// cmd/pcaplint uses.
+func TestRunModuleFindsSeededViolation(t *testing.T) {
+	root := t.TempDir()
+	writeFile := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module pcapsim\n\ngo 1.21\n")
+	writeFile("internal/sim/bad.go", `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	findings, err := RunModule(root, All(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("seeded time.Now in internal/sim produced no findings")
+	}
+	f := findings[0]
+	if f.Analyzer != "nondet-source" || f.File != "internal/sim/bad.go" {
+		t.Errorf("unexpected finding for seeded violation: %+v", f)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	names := func(as []*Analyzer) string {
+		out := make([]string, len(as))
+		for i, a := range as {
+			out[i] = a.Name
+		}
+		return strings.Join(out, ",")
+	}
+	got, err := Select("", "")
+	if err != nil || names(got) != "detmap,nondet-source,poolsafe,errcheck-lite" {
+		t.Errorf("Select(\"\", \"\") = %s, %v", names(got), err)
+	}
+	got, err = Select("poolsafe,detmap", "")
+	if err != nil || names(got) != "detmap,poolsafe" {
+		t.Errorf("Select(only) = %s, %v", names(got), err)
+	}
+	got, err = Select("", "errcheck-lite")
+	if err != nil || names(got) != "detmap,nondet-source,poolsafe" {
+		t.Errorf("Select(skip) = %s, %v", names(got), err)
+	}
+	if _, err := Select("nosuch", ""); err == nil {
+		t.Error("Select with unknown -only name did not fail")
+	}
+	if _, err := Select("", "nosuch"); err == nil {
+		t.Error("Select with unknown -skip name did not fail")
+	}
+	if _, err := Select("detmap", "detmap"); err == nil {
+		t.Error("Select excluding everything did not fail")
+	}
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` over a map inside result-affecting packages unless
+// the loop body is provably order-insensitive. Go randomizes map
+// iteration order per run, so any such loop whose effect depends on visit
+// order breaks the module's central contract — same seed ⇒ byte-identical
+// results (DESIGN.md §8) — in a way the differential tests only catch if
+// the randomized order happens to differ between runs.
+//
+// A body is accepted as order-insensitive when every statement is one of:
+//
+//   - a write to a map element (m[k] = v, m[k] op= v, delete(m, k)) —
+//     distinct iterations touch distinct keys when keyed by the range
+//     variable, and fmt/go-test render maps sorted;
+//   - an integer accumulation (n += v, n++, n |= v, ...) — exact and
+//     commutative, unlike float accumulation, whose rounding depends on
+//     order;
+//   - an append of loop-derived values to a slice that is passed to a
+//     sort function later in the same function (collect-then-sort);
+//   - a local declaration, `continue`, or an if/for/switch/block over
+//     such statements whose conditions call nothing but len/cap.
+//
+// Everything else — early exits, arbitrary calls, float accumulation,
+// writes to slices or fields — is assumed order-sensitive and must be
+// rewritten or suppressed with a reasoned //pcaplint:ignore.
+//
+// Approximation notes: right-hand sides of map writes are assumed free of
+// order-dependent side effects, and the collect-then-sort rule checks
+// that a sort call appears lexically after the loop, not that every use
+// is post-sort.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "range over a map with an order-sensitive body in a result-affecting package",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) {
+	if !resultAffecting(pass.Pkg.RelPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				c := &detmapCheck{info: info, appends: make(map[types.Object]bool)}
+				if reason := c.unsafeReason(rng.Body.List); reason != "" {
+					pass.Reportf(rng.Pos(), "range over map %s is order-sensitive (%s); iterate over sorted keys or keep the body order-insensitive", types.ExprString(rng.X), reason)
+					return true
+				}
+				for obj := range c.appends {
+					if !sortedAfter(info, fd.Body, rng.End(), obj) {
+						pass.Reportf(rng.Pos(), "range over map %s collects into %s, which is not sorted afterwards in this function; sort it before use", types.ExprString(rng.X), obj.Name())
+						return true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+type detmapCheck struct {
+	info *types.Info
+	// appends are the slice variables the body appends loop values to;
+	// each must be sorted after the loop for the body to be safe.
+	appends map[types.Object]bool
+}
+
+// unsafeReason returns "" if every statement is order-insensitive, or a
+// description of the first offending statement.
+func (c *detmapCheck) unsafeReason(stmts []ast.Stmt) string {
+	for _, s := range stmts {
+		if reason := c.unsafeStmt(s); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+func (c *detmapCheck) unsafeStmt(s ast.Stmt) string {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.unsafeAssign(st)
+	case *ast.IncDecStmt:
+		if !c.intAccumulator(st.X) {
+			return "non-integer increment of " + types.ExprString(st.X)
+		}
+		return ""
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && c.isBuiltin(call.Fun, "delete") {
+			return ""
+		}
+		return "calls " + types.ExprString(st.X)
+	case *ast.DeclStmt:
+		return ""
+	case *ast.BlockStmt:
+		return c.unsafeReason(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			if reason := c.unsafeStmt(st.Init); reason != "" {
+				return reason
+			}
+		}
+		if !c.pureExpr(st.Cond) {
+			return "condition " + types.ExprString(st.Cond) + " is not provably pure"
+		}
+		if reason := c.unsafeReason(st.Body.List); reason != "" {
+			return reason
+		}
+		if st.Else != nil {
+			return c.unsafeStmt(st.Else)
+		}
+		return ""
+	case *ast.ForStmt:
+		if st.Init != nil || st.Post != nil {
+			for _, inner := range []ast.Stmt{st.Init, st.Post} {
+				if inner != nil {
+					if reason := c.unsafeStmt(inner); reason != "" {
+						return reason
+					}
+				}
+			}
+		}
+		if st.Cond != nil && !c.pureExpr(st.Cond) {
+			return "loop condition is not provably pure"
+		}
+		return c.unsafeReason(st.Body.List)
+	case *ast.RangeStmt:
+		return c.unsafeReason(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Tag != nil && !c.pureExpr(st.Tag) {
+			return "switch tag is not provably pure"
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				if reason := c.unsafeReason(cc.Body); reason != "" {
+					return reason
+				}
+			}
+		}
+		return ""
+	case *ast.BranchStmt:
+		if st.Tok == token.CONTINUE {
+			return ""
+		}
+		return "exits the loop early with " + st.Tok.String()
+	default:
+		return "statement is not a map write, integer accumulation, or sorted collect"
+	}
+}
+
+func (c *detmapCheck) unsafeAssign(as *ast.AssignStmt) string {
+	// Collect-then-sort: s = append(s, ...).
+	if len(as.Lhs) == 1 && len(as.Rhs) == 1 && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+		if lhs, ok := as.Lhs[0].(*ast.Ident); ok {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && c.isBuiltin(call.Fun, "append") && len(call.Args) > 0 {
+				if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == lhs.Name {
+					if obj := c.objectOf(lhs); obj != nil {
+						c.appends[obj] = true
+						return ""
+					}
+				}
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		if reason := c.unsafeTarget(lhs, as.Tok); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+// unsafeTarget vets one assignment target under the given operator.
+func (c *detmapCheck) unsafeTarget(lhs ast.Expr, tok token.Token) string {
+	if ident, ok := lhs.(*ast.Ident); ok && ident.Name == "_" {
+		return ""
+	}
+	// Writes into a map element are order-insensitive for any operator.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if tv, ok := c.info.Types[idx.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return ""
+			}
+		}
+		return "writes to an element of " + types.ExprString(idx.X)
+	}
+	switch tok {
+	case token.DEFINE:
+		if _, ok := lhs.(*ast.Ident); ok {
+			return ""
+		}
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if c.intAccumulator(lhs) {
+			return ""
+		}
+		return "accumulates into non-integer " + types.ExprString(lhs) + " (order-dependent for floats and strings)"
+	}
+	return "assigns to " + types.ExprString(lhs)
+}
+
+// intAccumulator reports whether the expression is an addressable target
+// with exact (integer) arithmetic, so commutative accumulation over it is
+// order-independent.
+func (c *detmapCheck) intAccumulator(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// pureExpr accepts expressions with no calls (except len/cap) and no
+// channel receives.
+func (c *detmapCheck) pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if !c.isBuiltin(x.Fun, "len") && !c.isBuiltin(x.Fun, "cap") {
+				pure = false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pure = false
+			}
+		case *ast.FuncLit:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+func (c *detmapCheck) isBuiltin(fun ast.Expr, name string) bool {
+	ident, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	_, isBuiltin := c.objectOf(ident).(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *detmapCheck) objectOf(ident *ast.Ident) types.Object {
+	if obj := c.info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return c.info.Defs[ident]
+}
+
+// sortFuncs are the recognized "sorts its first argument" functions.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true,
+	"sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort function
+// lexically after pos within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj, ok := info.Uses[fn.Sel].(*types.Func)
+		if !ok || fnObj.Pkg() == nil || !sortFuncs[fnObj.Pkg().Name()+"."+fnObj.Name()] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Accept the bare variable or a sort.Interface conversion of it
+		// (sort.Sort(byName(keys))).
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if ident, ok := arg.(*ast.Ident); ok && info.Uses[ident] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckLite flags calls whose error result is silently discarded in
+// the packages where that silence corrupts data: the trace codecs
+// (internal/trace), predictor-state persistence (internal/persist), and
+// every command. A dropped Close or Flush error from an encoder means a
+// truncated trace file that decodes as valid-but-short — precisely the
+// corruption the v2 container's CRCs exist to surface (DESIGN.md §11).
+//
+// A call is unchecked when it appears as a bare statement, or as a defer
+// or go statement, and its signature includes an error result. Assigning
+// the error to `_` is treated as checked: the discard is explicit and
+// visible in review. Writes to fmt's stdout/stderr convenience printers,
+// and to bytes.Buffer / strings.Builder (documented to never fail), are
+// exempt.
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "discarded error result (including dropped Close/Flush) in codec, persist, or cmd code",
+	Run:  runErrcheckLite,
+}
+
+func runErrcheckLite(pass *Pass) {
+	if !errcheckScope(pass.Pkg.RelPath) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, st.X, "")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, st.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, st.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall reports e when it is a call returning an error that
+// nothing receives.
+func checkDiscardedCall(pass *Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok { // builtin (panic, append, ...)
+		return
+	}
+	if !returnsError(sig) || exemptCallee(info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s%s is dropped; check it or assign it to _ with a comment", how, types.ExprString(call.Fun))
+}
+
+// returnsError reports whether any result of the signature has type
+// error.
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptCallee excludes the conventional can't-meaningfully-fail calls:
+// fmt printers targeting stdout/stderr, and the never-failing
+// bytes.Buffer / strings.Builder writers.
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			owner := named.Obj()
+			if owner.Pkg() != nil {
+				full := owner.Pkg().Path() + "." + owner.Name()
+				if full == "bytes.Buffer" || full == "strings.Builder" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if pkg != "fmt" {
+		return false
+	}
+	switch name {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && isStdStream(info, call.Args[0])
+	}
+	return false
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

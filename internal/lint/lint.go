@@ -1,0 +1,237 @@
+// Package lint is a self-contained static-analysis framework for this
+// module, built only on the standard library's go/parser, go/ast and
+// go/types (no golang.org/x/tools). It exists to turn the repository's
+// dynamically-tested invariants — the determinism contract of DESIGN.md
+// §8, the pool-ownership rules of §10 and the codec error discipline of
+// §11 — into compile-time checks: cmd/pcaplint runs every registered
+// analyzer over the module and fails CI on any finding.
+//
+// The framework has three parts:
+//
+//   - a module loader (load.go) that parses every non-test package in the
+//     module, topologically sorts them by their internal imports and
+//     type-checks them with the stdlib source importer, so analyzers see
+//     full type information without any third-party package driver;
+//   - an Analyzer interface plus a Pass carrying one type-checked package,
+//     mirroring golang.org/x/tools/go/analysis in miniature;
+//   - a suppression layer: `//pcaplint:ignore <analyzer> <reason>` on the
+//     finding's line (or the line above) silences that analyzer there.
+//     A directive without a reason, or naming an unknown analyzer, is
+//     itself reported as an error, so suppressions cannot rot silently.
+//
+// Function declarations may additionally carry `//pcaplint:owner-transfer`
+// in their doc comment, marking them as deliberate sync.Pool ownership
+// transfer points for the poolsafe analyzer (see poolsafe.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -only/-skip filters and
+	// ignore directives.
+	Name string
+	// Doc is a one-line description, shown by `pcaplint -list`.
+	Doc string
+	// Run inspects the Pass's package and reports findings through it.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package to an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// OwnerTransfer reports whether a function object is annotated
+	// //pcaplint:owner-transfer anywhere in the module.
+	OwnerTransfer func(types.Object) bool
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Finding is one reported problem. Findings with Analyzer ==
+// FrameworkName are framework errors (malformed directives, unknown
+// analyzer names) and cannot be suppressed.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// FrameworkName is the pseudo-analyzer name under which directive errors
+// are reported.
+const FrameworkName = "pcaplint"
+
+const (
+	directivePrefix        = "//pcaplint:"
+	ignoreDirective        = "ignore"
+	ownerTransferDirective = "owner-transfer"
+)
+
+// ignoreIndex records, per file and line, which analyzers are suppressed
+// there. A directive suppresses findings on its own line and on the line
+// directly below it (the standalone-comment-above-the-statement form).
+type ignoreIndex map[string]map[int]map[string]bool
+
+// collectDirectives scans a package's comments for pcaplint directives.
+// It returns the suppression index and one framework Finding per
+// malformed directive: a missing analyzer name, a missing reason, an
+// analyzer name not in known, an unknown directive verb, or an
+// owner-transfer annotation that is not part of a function declaration's
+// doc comment.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreIndex, []Finding) {
+	idx := make(ignoreIndex)
+	var errs []Finding
+
+	// owner-transfer is only meaningful on a function declaration's doc
+	// comment; gather the legal positions first.
+	fnDocs := make(map[*ast.CommentGroup]bool)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				fnDocs[fd.Doc] = true
+			}
+		}
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		position := fset.Position(pos)
+		errs = append(errs, Finding{
+			File:     position.Filename,
+			Line:     position.Line,
+			Col:      position.Column,
+			Analyzer: FrameworkName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				switch verb {
+				case ownerTransferDirective:
+					if !fnDocs[group] {
+						report(c.Pos(), "//pcaplint:%s must be in a function declaration's doc comment", ownerTransferDirective)
+					}
+				case ignoreDirective:
+					name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+					if name == "" {
+						report(c.Pos(), "ignore directive needs an analyzer name and a reason: //pcaplint:ignore <analyzer> <reason>")
+						continue
+					}
+					if !known[name] {
+						report(c.Pos(), "ignore directive names unknown analyzer %q (known: %s)", name, strings.Join(sortedNames(known), ", "))
+						continue
+					}
+					if strings.TrimSpace(reason) == "" {
+						report(c.Pos(), "ignore directive for %q needs a reason", name)
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					byLine := idx[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						idx[pos.Filename] = byLine
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = make(map[string]bool)
+						}
+						byLine[line][name] = true
+					}
+				default:
+					report(c.Pos(), "unknown pcaplint directive %q (known: ignore, owner-transfer)", verb)
+				}
+			}
+		}
+	}
+	return idx, errs
+}
+
+// suppressed reports whether the finding is covered by an ignore
+// directive. Framework errors are never suppressible.
+func (idx ignoreIndex) suppressed(f Finding) bool {
+	if f.Analyzer == FrameworkName {
+		return false
+	}
+	return idx[f.File][f.Line][f.Analyzer]
+}
+
+// ownerTransferFuncs returns the objects of all functions in the package
+// whose doc comment carries //pcaplint:owner-transfer.
+func ownerTransferFuncs(info *types.Info, files []*ast.File) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, directivePrefix+ownerTransferDirective) {
+					if obj := info.Defs[fd.Name]; obj != nil {
+						set[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer — the
+// stable presentation order of cmd/pcaplint.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondetSource forbids reading nondeterministic inputs — wall clock,
+// globally-seeded randomness, the process environment — and formatting
+// raw maps with fmt inside result-affecting packages. The reproduction's
+// contract is that a (seed, configuration) pair fully determines every
+// byte of output; any of these sources smuggles hidden state into a
+// result. Only internal/rng (the sanctioned seeded-randomness seam) and
+// cmd/* (progress output, environment-driven flags) may touch them.
+//
+// Seeded constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are
+// allowed: determinism comes from the caller-supplied seed. Methods on a
+// *rand.Rand value are likewise fine.
+var NondetSource = &Analyzer{
+	Name: "nondet-source",
+	Doc:  "wall-clock, global math/rand, os env, or fmt-on-a-map in a result-affecting package",
+	Run:  runNondetSource,
+}
+
+// randConstructors are the math/rand (and /v2) package-level functions
+// that merely build seeded generators.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// fmtFormatters are the fmt functions whose arguments end up rendered;
+// passing a map to one bakes fmt's rendering into results.
+var fmtFormatters = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runNondetSource(pass *Pass) {
+	if !resultAffecting(pass.Pkg.RelPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			isMethod := fn.Type().(*types.Signature).Recv() != nil
+			switch {
+			case pkgPath == "time" && !isMethod && (name == "Now" || name == "Since" || name == "Until"):
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulated time must come from the trace", name)
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !isMethod && !randConstructors[name]:
+				pass.Reportf(call.Pos(), "global %s.%s uses process-global random state; draw from a seeded *rand.Rand (see internal/rng)", fn.Pkg().Name(), name)
+			case pkgPath == "os" && !isMethod && (name == "Getenv" || name == "LookupEnv" || name == "Environ"):
+				pass.Reportf(call.Pos(), "os.%s makes results depend on the environment; thread configuration through explicit parameters", name)
+			case pkgPath == "fmt" && !isMethod && fmtFormatters[name]:
+				for _, arg := range call.Args {
+					tv, ok := info.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(arg.Pos(), "formatting map %s with fmt.%s bakes fmt's map rendering into output; render entries explicitly from sorted keys", types.ExprString(arg), name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// conversions, and dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

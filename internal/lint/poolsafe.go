@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafe statically enforces the DESIGN.md §10 sync.Pool ownership
+// rules at every sync.Pool.Get call site: the gotten value must stay
+// function-local — never stored into a struct field, package variable or
+// container, never returned, never sent on a channel — and must reach a
+// matching Put on every non-panic path before it goes out of scope.
+// Violating either rule lets two owners see one pooled object, which is
+// exactly the aliasing the arena/pool rewrite's determinism argument
+// forbids.
+//
+// Two escape hatches, both spelled in the source where reviewers see
+// them:
+//
+//   - a function whose doc comment carries //pcaplint:owner-transfer is a
+//     designated transfer point. Inside it, Get results may be returned
+//     (the caller takes ownership — the repo's get/put accessor pairs);
+//     passing a pooled value TO such a function transfers ownership away
+//     and satisfies the Put obligation.
+//   - a reasoned //pcaplint:ignore poolsafe directive, for cases the
+//     structural analysis cannot follow.
+//
+// The analysis is intentionally structural, not a full CFG: it scans the
+// statements of the value's scope in order, branching through
+// if/else, and treats panic/os.Exit/Fatal-style calls as path ends.
+// Aliasing through a second variable and closures that capture the value
+// (other than `defer func() { pool.Put(x) }()`, which counts as a Put)
+// are outside the model. It runs on every package: pooling outside the
+// hot path still needs correct ownership.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool.Get value escapes its function or misses Put on a non-panic path",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A designated transfer point is audited by hand; its Get may
+			// flow to the caller.
+			if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil && pass.OwnerTransfer(obj) {
+				continue
+			}
+			checkPoolGets(pass, fd)
+		}
+	}
+}
+
+// checkPoolGets finds every sync.Pool.Get call under fd and vets its
+// binding, escapes, and Put coverage.
+func checkPoolGets(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(pass.Pkg.Info, call, "Get") {
+			checkGetSite(pass, call, append([]ast.Node(nil), stack...))
+		}
+		return true
+	})
+}
+
+// isPoolMethod reports whether call invokes the named method of
+// sync.Pool.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// checkGetSite classifies how one Get call's result is used. stack runs
+// from the enclosing FuncDecl down to the call itself.
+func checkGetSite(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Walk up through the type assertion / parens wrapping the call.
+	i := len(stack) - 2
+	for i >= 0 {
+		switch stack[i].(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return
+	}
+	switch parent := stack[i].(type) {
+	case *ast.AssignStmt:
+		checkBoundGet(pass, call, parent, stack[:i])
+	case *ast.ReturnStmt:
+		pass.Reportf(call.Pos(), "sync.Pool value is returned directly; only an //pcaplint:owner-transfer function may hand a pooled value to its caller")
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.Pkg.Info, parent); fn != nil && pass.OwnerTransfer(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(), "sync.Pool value is passed straight to a call; bind it to a variable so its Put is checkable")
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "sync.Pool value is discarded; bind it and Put it back")
+	default:
+		pass.Reportf(call.Pos(), "sync.Pool value is used in an unanalyzed position; bind it with x := pool.Get().(*T)")
+	}
+}
+
+// checkBoundGet handles `x := pool.Get().(*T)` (plain or comma-ok, at
+// block level or as an if statement's init) — the supported binding
+// shapes. It then runs the escape scan and the Put path scan over the
+// variable's scope.
+func checkBoundGet(pass *Pass, call *ast.CallExpr, assign *ast.AssignStmt, outer []ast.Node) {
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		pass.Reportf(call.Pos(), "sync.Pool value is assigned to a non-variable; bind it with x := pool.Get().(*T)")
+		return
+	}
+	if lhs.Name == "_" {
+		pass.Reportf(call.Pos(), "sync.Pool value is discarded; bind it and Put it back")
+		return
+	}
+	info := pass.Pkg.Info
+	obj := info.Defs[lhs]
+	if obj == nil {
+		obj = info.Uses[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	c := &poolCheck{pass: pass, obj: obj, get: call}
+
+	// Scope: statements the value lives through.
+	var scope []ast.Stmt
+	declared := assign.Tok == token.DEFINE
+	if len(outer) > 0 {
+		if ifStmt, ok := outer[len(outer)-1].(*ast.IfStmt); ok && ifStmt.Init == assign {
+			// The comma-ok idiom: if x, ok := pool.Get().(*T); ok { ... }.
+			// The value only exists on the ok branch.
+			scope = ifStmt.Body.List
+			c.run(scope, declared)
+			return
+		}
+	}
+	block := enclosingBlock(outer)
+	if block == nil {
+		pass.Reportf(call.Pos(), "sync.Pool value is bound in an unanalyzed position; bind it at statement level")
+		return
+	}
+	for idx, s := range block.List {
+		if s == assign {
+			scope = block.List[idx+1:]
+			break
+		}
+	}
+	c.run(scope, declared)
+}
+
+func enclosingBlock(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// poolCheck scans the scope of one bound pool value.
+type poolCheck struct {
+	pass *Pass
+	obj  types.Object
+	get  *ast.CallExpr
+	done bool // one finding per Get site
+}
+
+func (c *poolCheck) violate(pos token.Pos, format string, args ...any) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// run performs the escape scan, then the Put path scan. declared is
+// false for a plain `=` rebinding of an outer variable, where the value
+// outlives the scanned block and the end-of-scope obligation cannot be
+// checked locally (escapes and early returns still are).
+func (c *poolCheck) run(scope []ast.Stmt, declared bool) {
+	for _, s := range scope {
+		c.escapes(s)
+	}
+	if c.done {
+		return
+	}
+	fallsThrough, satisfied := c.scan(scope, false)
+	if c.done {
+		return
+	}
+	if fallsThrough && !satisfied && declared {
+		c.violate(c.get.Pos(), "sync.Pool value goes out of scope without Put; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
+	}
+}
+
+// escapes reports stores that would give the pooled value a second
+// owner.
+func (c *poolCheck) escapes(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if c.done {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			// Closures are outside the model; defer func(){Put(x)}() is
+			// still recognized by the path scan's subtree search.
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !c.isObj(rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					c.violate(st.Pos(), "sync.Pool value is stored into field %s; pooled values must stay function-local (DESIGN.md §10)", types.ExprString(lhs))
+				case *ast.IndexExpr:
+					c.violate(st.Pos(), "sync.Pool value is stored into an element of %s; pooled values must stay function-local (DESIGN.md §10)", types.ExprString(lhs.X))
+				case *ast.Ident:
+					if obj := c.pass.Pkg.Info.Uses[lhs]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+						c.violate(st.Pos(), "sync.Pool value is stored into package variable %s; pooled values must stay function-local (DESIGN.md §10)", lhs.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if c.mentionsObj(res) {
+					c.violate(st.Pos(), "sync.Pool value is returned; only an //pcaplint:owner-transfer function may hand a pooled value to its caller")
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if c.mentionsObj(st.Value) {
+				c.violate(st.Pos(), "sync.Pool value is sent on a channel; pooled values must stay function-local (DESIGN.md §10)")
+			}
+		case *ast.GoStmt:
+			if c.mentionsObj(st.Call) {
+				c.violate(st.Pos(), "sync.Pool value is captured by a go statement; the goroutine may outlive the Put")
+			}
+		}
+		return !c.done
+	})
+}
+
+// scan walks a statement list in order, tracking whether the Put
+// obligation is satisfied. It returns whether control can fall off the
+// end of the list and the obligation state if it does.
+func (c *poolCheck) scan(stmts []ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
+	for _, s := range stmts {
+		ft, after := c.scanStmt(s, sat)
+		if !ft {
+			return false, after
+		}
+		sat = after
+	}
+	return true, sat
+}
+
+func (c *poolCheck) scanStmt(s ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		if !sat {
+			c.violate(st.Pos(), "sync.Pool value does not reach Put before this return; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
+		}
+		return false, sat
+	case *ast.BlockStmt:
+		return c.scan(st.List, sat)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			_, sat = c.scanStmt(st.Init, sat)
+		}
+		thenFT, thenSat := c.scan(st.Body.List, sat)
+		elseFT, elseSat := true, sat
+		if st.Else != nil {
+			elseFT, elseSat = c.scanStmt(st.Else, sat)
+		}
+		switch {
+		case !thenFT && !elseFT:
+			return false, sat
+		case !thenFT:
+			return true, elseSat
+		case !elseFT:
+			return true, thenSat
+		default:
+			return true, thenSat && elseSat
+		}
+	case *ast.ForStmt:
+		// The loop may run zero times: Put inside it cannot satisfy the
+		// obligation after it, but violations inside are still reported.
+		c.scan(st.Body.List, sat)
+		return true, sat
+	case *ast.RangeStmt:
+		c.scan(st.Body.List, sat)
+		return true, sat
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Conservative: scan case bodies for violations; a Put inside a
+		// case does not satisfy the obligation afterwards.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if clause, ok := n.(*ast.CaseClause); ok {
+				c.scan(clause.Body, sat)
+				return false
+			}
+			if clause, ok := n.(*ast.CommClause); ok {
+				c.scan(clause.Body, sat)
+				return false
+			}
+			return true
+		})
+		return true, sat
+	case *ast.LabeledStmt:
+		return c.scanStmt(st.Stmt, sat)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement sequence; where they
+		// rejoin is beyond the structural model, so neither report nor
+		// satisfy.
+		return false, sat
+	case *ast.ExprStmt:
+		if isTerminalCall(c.pass.Pkg.Info, st.X) {
+			return false, sat
+		}
+		return true, sat || c.consumes(st)
+	default:
+		return true, sat || c.consumes(st)
+	}
+}
+
+// consumes reports whether the statement's subtree puts the value back
+// (pool.Put(x), pool.Put(&x), defer pool.Put(x), including inside a
+// deferred closure) or hands it to an //pcaplint:owner-transfer
+// function.
+func (c *poolCheck) consumes(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		transfer := false
+		if isPoolMethod(c.pass.Pkg.Info, call, "Put") {
+			transfer = true
+		} else if fn := calleeFunc(c.pass.Pkg.Info, call); fn != nil && c.pass.OwnerTransfer(fn) {
+			transfer = true
+		}
+		if !transfer {
+			return true
+		}
+		for _, arg := range call.Args {
+			a := ast.Unparen(arg)
+			if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				a = ast.Unparen(u.X)
+			}
+			if c.isObj(a) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isObj reports whether e is exactly the tracked variable.
+func (c *poolCheck) isObj(e ast.Expr) bool {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && c.pass.Pkg.Info.Uses[ident] == c.obj
+}
+
+// mentionsObj reports whether the tracked variable appears anywhere in
+// e.
+func (c *poolCheck) mentionsObj(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && c.pass.Pkg.Info.Uses[ident] == c.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminalCall recognizes calls that end the path without returning:
+// panic, os.Exit, runtime.Goexit, and Fatal-family helpers.
+func isTerminalCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin && ident.Name == "panic" {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" && name == "Exit" {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "runtime" && name == "Goexit" {
+		return true
+	}
+	return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// All returns the registered analyzers in stable order. Every analyzer
+// name is valid in //pcaplint:ignore directives and -only/-skip filters.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetMap,
+		NondetSource,
+		PoolSafe,
+		ErrcheckLite,
+	}
+}
+
+// KnownNames returns the set of registered analyzer names.
+func KnownNames() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// Select resolves -only/-skip comma-separated filters against the
+// registry. Empty strings mean "no filter".
+func Select(only, skip string) ([]*Analyzer, error) {
+	known := KnownNames()
+	parse := func(list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(sortedNames(known), ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// RunModule loads the module at root and runs the analyzers over every
+// package matching one of the patterns ("./..." for everything,
+// "./dir/..." for a subtree, "./dir" for one package). Suppression
+// directives are applied; directive errors are returned as findings under
+// the FrameworkName analyzer. Findings come back in stable file/line
+// order with file paths relative to the module root.
+func RunModule(root string, analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	known := KnownNames()
+	var all []Finding
+	for _, pkg := range mod.Packages {
+		if !matchAny(pkg.RelPath, patterns, mod.Path) {
+			continue
+		}
+		all = append(all, runPackage(mod, pkg, analyzers, known)...)
+	}
+	for i := range all {
+		if rel, err := filepath.Rel(root, all[i].File); err == nil {
+			all[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// runPackage runs the analyzers over one loaded package, validating and
+// applying its suppression directives.
+func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	ignores, findings := collectDirectives(mod.Fset, pkg.Files, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:      a,
+			Fset:          mod.Fset,
+			Pkg:           pkg,
+			OwnerTransfer: mod.IsOwnerTransfer,
+			findings:      &findings,
+		}
+		a.Run(pass)
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if !ignores.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// matchAny reports whether a module-relative package path matches any
+// pattern. Patterns may be "./..."-style relative paths or full import
+// paths ("pcapsim/internal/sim").
+func matchAny(relPath string, patterns []string, modPath string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(strings.TrimSpace(pat), "./")
+		pat = strings.TrimPrefix(pat, modPath+"/")
+		pat = strings.TrimSuffix(pat, "/")
+		switch {
+		case pat == "..." || pat == "" || pat == modPath:
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if relPath == base || strings.HasPrefix(relPath, base+"/") {
+				return true
+			}
+		case relPath == pat:
+			return true
+		}
+	}
+	return false
+}

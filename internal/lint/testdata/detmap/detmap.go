@@ -1,0 +1,87 @@
+// Package detmaptest is the detmap analyzer's corpus: each `want`
+// comment marks an expected finding on its line (see corpus_test.go).
+// The corpus is type-checked as if it were a result-affecting package.
+package detmaptest
+
+import "sort"
+
+// SumFloats is a true positive: float accumulation depends on visit
+// order through rounding.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "order-sensitive"
+		total += v
+	}
+	return total
+}
+
+// FirstKey is a true positive: an early exit returns whichever key the
+// randomized iteration happens to visit first.
+func FirstKey(m map[string]int) (string, bool) {
+	for k := range m { // want "order-sensitive"
+		return k, true
+	}
+	return "", false
+}
+
+// KeysUnsorted is a true positive: the collected keys are never sorted,
+// so callers see them in randomized order.
+func KeysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "not sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// AppendValues is a true positive: values are collected into a slice in
+// iteration order and handed out unsorted.
+func AppendValues(m map[string]int, out []int) []int {
+	for _, v := range m { // want "not sorted afterwards"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Invert is a true negative: the body only writes map elements, and map
+// contents do not depend on insertion order.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// CountLarge is a true negative: integer accumulation is exact and
+// commutative.
+func CountLarge(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 10 {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys is a true negative: the canonical collect-then-sort pattern.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recycle carries a suppressed finding: the free-list order is
+// unobservable, which the analysis cannot prove, so the loop documents
+// why and silences the analyzer.
+func Recycle(m map[string]*int, free []*int) []*int {
+	//pcaplint:ignore detmap free-list order is unobservable; entries are fully reset before reuse
+	for _, p := range m {
+		free = append(free, p)
+	}
+	return free
+}

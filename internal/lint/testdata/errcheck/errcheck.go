@@ -1,0 +1,65 @@
+// Package errchecktest is the errcheck-lite analyzer's corpus. The
+// corpus is type-checked as if it were one of the covered packages
+// (internal/trace, internal/persist, cmd/*).
+package errchecktest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type enc struct{}
+
+func (e *enc) Close() error { return nil }
+
+func (e *enc) Flush() error { return nil }
+
+func (e *enc) Write(p []byte) (int, error) { return len(p), nil }
+
+func work() (int, error) { return 0, nil }
+
+// Drops is a true positive three ways: a bare statement call, a
+// deferred Close, and a constructed-then-discarded error.
+func Drops(e *enc) {
+	e.Flush()             // want "error returned by e.Flush is dropped"
+	defer e.Close()       // want "error returned by deferred e.Close is dropped"
+	fmt.Errorf("ignored") // want "error returned by fmt.Errorf is dropped"
+}
+
+// DropsWrite is a true positive: a dropped Write error loses data
+// silently.
+func DropsWrite(e *enc, p []byte) {
+	e.Write(p) // want "error returned by e.Write is dropped"
+}
+
+// DropsFprintf is a true positive: writing to an arbitrary writer (not
+// stdout/stderr) can fail meaningfully.
+func DropsFprintf(f *os.File) {
+	fmt.Fprintf(f, "header\n") // want "error returned by fmt.Fprintf is dropped"
+}
+
+// Checks is a true negative for every accepted pattern: checked errors,
+// explicit blank assignment, stdout/stderr printers, and never-failing
+// strings.Builder writes.
+func Checks(e *enc) error {
+	if err := e.Close(); err != nil {
+		return err
+	}
+	n, err := work()
+	if err != nil || n < 0 {
+		return err
+	}
+	_ = e.Flush() // explicit, visible discard
+	fmt.Println("done")
+	fmt.Fprintln(os.Stderr, "done")
+	var sb strings.Builder
+	sb.WriteString("ok")
+	return nil
+}
+
+// SuppressedClose carries a suppressed finding with its mandatory
+// reason.
+func SuppressedClose(e *enc) {
+	defer e.Close() //pcaplint:ignore errcheck-lite read path; a close failure cannot lose data
+}

@@ -1,0 +1,32 @@
+// Package frameworktest exercises the directive layer itself: malformed
+// suppressions must be findings, so stale or typo'd ignores cannot rot
+// silently. Each `want +N` comment expects a finding N lines below it (gofmt keeps
+// a blank comment line between prose and each directive).
+package frameworktest
+
+// want +2 "unknown analyzer \"nosuchanalyzer\""
+//
+//pcaplint:ignore nosuchanalyzer this analyzer was renamed away
+func Stale() {}
+
+// want +2 "needs a reason"
+//
+//pcaplint:ignore detmap
+func Reasonless() {}
+
+// want +2 "needs an analyzer name"
+//
+//pcaplint:ignore
+func Nameless() {}
+
+// want +2 "unknown pcaplint directive"
+//
+//pcaplint:silence detmap because
+func BadVerb() {}
+
+// want +2 "must be in a function declaration's doc comment"
+//
+//pcaplint:owner-transfer
+var notAFunction = 1
+
+var _ = notAFunction

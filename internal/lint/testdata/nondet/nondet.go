@@ -1,0 +1,55 @@
+// Package nondettest is the nondet-source analyzer's corpus. The corpus
+// is type-checked as if it were a result-affecting package.
+package nondettest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp is a true positive: wall-clock time leaks into results.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+// Elapsed is a true positive: time.Since reads the clock too.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+// Roll is a true positive: the global generator's state is shared
+// process-wide and unseeded.
+func Roll() int {
+	return rand.Intn(6) // want "process-global random state"
+}
+
+// Home is a true positive: environment reads make output
+// machine-dependent.
+func Home() string {
+	return os.Getenv("HOME") // want "depend on the environment"
+}
+
+// Render is a true positive: fmt's map rendering becomes part of the
+// output bytes.
+func Render(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "map rendering"
+}
+
+// SeededRoll is a true negative: constructors and methods on a seeded
+// *rand.Rand are the sanctioned pattern.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// RenderCount is a true negative: only a derived scalar reaches fmt.
+func RenderCount(m map[string]int) string {
+	return fmt.Sprintf("%d entries", len(m))
+}
+
+// Progress carries a suppressed finding with its mandatory reason.
+func Progress() time.Time {
+	return time.Now() //pcaplint:ignore nondet-source wall clock feeds stderr progress output, never results
+}

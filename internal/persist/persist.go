@@ -153,20 +153,26 @@ func TablePath(dir, app string, v core.Variant) string {
 
 // SaveTableFile writes p's table to the conventional path under dir,
 // creating dir if needed.
-func SaveTableFile(dir, app string, p *core.PCAP) (string, error) {
+func SaveTableFile(dir, app string, p *core.PCAP) (path string, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := TablePath(dir, app, p.Config().Variant)
+	path = TablePath(dir, app, p.Config().Variant)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close after a clean write still means an incomplete
+		// initialization file; surface it.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			path, err = "", cerr
+		}
+	}()
 	if err := SaveTable(f, app, p); err != nil {
 		return "", err
 	}
-	return path, f.Close()
+	return path, nil
 }
 
 // LoadTableFile loads a table from the conventional path under dir. A
@@ -181,7 +187,7 @@ func LoadTableFile(dir, app string, p *core.PCAP) (found bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	defer f.Close()
+	defer f.Close() //pcaplint:ignore errcheck-lite file opened read-only; a close failure cannot lose data
 	if err := LoadTable(f, app, p); err != nil {
 		return false, err
 	}

@@ -83,6 +83,9 @@ type runState struct {
 }
 
 // getState fetches a runState compatible with the runner's configuration.
+// The caller takes ownership and must pair it with putState.
+//
+//pcaplint:owner-transfer
 func (r *Runner) getState() *runState {
 	if rs, ok := r.statePool.Get().(*runState); ok {
 		return rs
@@ -124,6 +127,10 @@ func (rs *runState) prepare(tr *trace.Trace, cacheCfg fscache.Config) (*executio
 	rs.filtered = filtered
 
 	ex := &rs.ex
+	// Free-list order only decides which recycled procInfo serves which
+	// pid next execution; every field is reset on reuse, so results are
+	// unaffected.
+	//pcaplint:ignore detmap free-list order is invisible: procInfos are fully reset on reuse
 	for _, p := range ex.procs {
 		p.recycle()
 		rs.procFree = append(rs.procFree, p)
@@ -183,6 +190,9 @@ func (rs *runState) prepare(tr *trace.Trace, cacheCfg fscache.Config) (*executio
 	for range ex.accesses {
 		ex.nextLocal = append(ex.nextLocal, -1)
 	}
+	// Each access index belongs to exactly one pid, so the writes below
+	// hit disjoint nextLocal slots regardless of iteration order.
+	//pcaplint:ignore detmap per-pid access indices are disjoint, so write order cannot matter
 	for _, p := range ex.procs {
 		for j := 0; j+1 < len(p.accesses); j++ {
 			ex.nextLocal[p.accesses[j]] = p.accesses[j+1]

@@ -147,8 +147,8 @@ func NewBlockEncoder(w io.Writer, app string, exec int, count int) (*BlockEncode
 	hdr = binary.AppendUvarint(hdr, uint64(count))
 	enc.hdr = hdr
 	enc.bw = bufio.NewWriter(w)
-	enc.bw.WriteString(blockFileMagic)
-	enc.bw.Write(hdr)
+	enc.bw.WriteString(blockFileMagic) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
+	enc.bw.Write(hdr)                  //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	writeCRC32(enc.bw, crc32.ChecksumIEEE(hdr))
 	return enc, nil
 }
@@ -335,11 +335,11 @@ func (enc *BlockEncoder) flush() error {
 	for i := range enc.cols {
 		crc = crc32.Update(crc, crc32.IEEETable, enc.cols[i])
 	}
-	enc.bw.WriteString(blockMagic)
-	enc.bw.Write(hdr)
+	enc.bw.WriteString(blockMagic) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
+	enc.bw.Write(hdr)              //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	writeCRC32(enc.bw, crc)
 	for i := range enc.cols {
-		enc.bw.Write(enc.cols[i])
+		enc.bw.Write(enc.cols[i]) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	}
 	enc.buf = enc.buf[:0]
 	return nil
@@ -357,7 +357,7 @@ func pidIndex(dict []PID, p PID) int {
 func writeCRC32(w *bufio.Writer, crc uint32) {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], crc)
-	w.Write(b[:])
+	w.Write(b[:]) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at the encoder's Flush
 }
 
 // WriteColumnar encodes the trace to w in the columnar v2 format — the v2
@@ -484,6 +484,10 @@ func growSlice[T any](s []T, n int) []T {
 // allocates nothing.
 var framePool sync.Pool
 
+// getFrame fetches a recycled frame. The caller takes ownership and must
+// return it with framePool.Put when its stream ends.
+//
+//pcaplint:owner-transfer
 func getFrame() *Frame {
 	if f, ok := framePool.Get().(*Frame); ok {
 		return f

@@ -54,7 +54,9 @@ func OpenTraceFile(path string) (*FileSource, error) {
 	}
 	src, err := NewSniffedSource(f)
 	if err != nil {
-		f.Close()
+		// The sniff failure is the error worth reporting; nothing was
+		// written, so the close cannot lose data.
+		_ = f.Close()
 		return nil, err
 	}
 	return &FileSource{Source: src, f: f}, nil

@@ -15,6 +15,9 @@ import (
 var eventBufPool sync.Pool // of *[]trace.Event
 
 // getEventBuf fetches a recycled (empty, capacity-preserving) buffer.
+// The caller takes ownership and must pair it with putEventBuf.
+//
+//pcaplint:owner-transfer
 func getEventBuf() []trace.Event {
 	if p, ok := eventBufPool.Get().(*[]trace.Event); ok {
 		return (*p)[:0]
