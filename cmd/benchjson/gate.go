@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The fitness gate: compare a current benchmark report against a
+// committed baseline on a set of higher-is-better throughput metrics and
+// fail when any regresses beyond the threshold. The comparison logic is
+// split from main for the table-driven tests in main_test.go.
+
+// gateCheck is one benchmark:metric pair to compare.
+type gateCheck struct {
+	Bench  string
+	Metric string
+}
+
+// parseGateMetrics parses "BenchmarkA:unit,BenchmarkB:unit" into checks.
+func parseGateMetrics(spec string) ([]gateCheck, error) {
+	var checks []gateCheck
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, metric, ok := strings.Cut(part, ":")
+		if !ok || name == "" || metric == "" {
+			return nil, fmt.Errorf("bad -metrics entry %q (want Benchmark:unit)", part)
+		}
+		checks = append(checks, gateCheck{Bench: name, Metric: metric})
+	}
+	if len(checks) == 0 {
+		return nil, fmt.Errorf("-metrics selected nothing")
+	}
+	return checks, nil
+}
+
+// metricFrom finds the named benchmark's metric in a report. With -count
+// repetitions a benchmark appears several times; the gate takes the best
+// (max) value, the standard guard against scheduling noise on shared
+// runners.
+func metricFrom(rep *report, c gateCheck) (float64, error) {
+	found := false
+	best := 0.0
+	for _, b := range rep.Benchmarks {
+		if b.Name != c.Bench {
+			continue
+		}
+		v, ok := b.Metrics[c.Metric]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %s has no %s metric", c.Bench, c.Metric)
+		}
+		if !found || v > best {
+			best = v
+		}
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("benchmark %s not in report", c.Bench)
+	}
+	return best, nil
+}
+
+// gateResult is one evaluated check.
+type gateResult struct {
+	Check    gateCheck
+	Baseline float64
+	Current  float64
+	// Change is the fractional change vs baseline (positive = faster).
+	Change float64
+	Pass   bool
+}
+
+// runChecks evaluates every check: current must be at least
+// baseline*(1-threshold). Exactly at the floor passes. A zero or negative
+// baseline is a structural error — it means the committed report is not a
+// real measurement.
+func runChecks(baseline, current *report, checks []gateCheck, threshold float64) ([]gateResult, error) {
+	results := make([]gateResult, 0, len(checks))
+	for _, c := range checks {
+		base, err := metricFrom(baseline, c)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		if base <= 0 {
+			return nil, fmt.Errorf("baseline: benchmark %s %s is %g; not a usable measurement", c.Bench, c.Metric, base)
+		}
+		cur, err := metricFrom(current, c)
+		if err != nil {
+			return nil, fmt.Errorf("current: %w", err)
+		}
+		results = append(results, gateResult{
+			Check:    c,
+			Baseline: base,
+			Current:  cur,
+			Change:   cur/base - 1,
+			Pass:     cur >= base*(1-threshold),
+		})
+	}
+	return results, nil
+}
+
+// loadReport reads a benchjson document, rejecting unknown schemas.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "pcapsim-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// runGate loads both reports, runs the checks, prints one line per check
+// and exits 1 on any regression.
+func runGate(baselinePath, currentPath, metricsSpec string, threshold float64) {
+	checks, err := parseGateMetrics(metricsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := loadReport(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := loadReport(currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := runChecks(baseline, current, checks, threshold)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for _, r := range results {
+		verdict := "ok"
+		if !r.Pass {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("gate: %s %s: %.4g -> %.4g (%+.1f%%) %s\n",
+			r.Check.Bench, r.Check.Metric, r.Baseline, r.Current, r.Change*100, verdict)
+	}
+	if failed {
+		fatal(fmt.Errorf("fitness gate failed: a metric regressed more than %.0f%% vs %s", threshold*100, baselinePath))
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkReport builds a report fixture from name → metrics entries.
+func mkReport(entries ...benchmark) *report {
+	return &report{Schema: "pcapsim-bench/v1", Benchmarks: entries}
+}
+
+func bench(name string, metrics map[string]float64) benchmark {
+	return benchmark{Name: name, Iterations: 100, Metrics: metrics}
+}
+
+func TestParseGateMetrics(t *testing.T) {
+	checks, err := parseGateMetrics("BenchmarkFullSimulation:ios/s, BenchmarkDecodeV2:events/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 2 || checks[0].Bench != "BenchmarkFullSimulation" || checks[0].Metric != "ios/s" ||
+		checks[1].Bench != "BenchmarkDecodeV2" || checks[1].Metric != "events/s" {
+		t.Fatalf("checks = %+v", checks)
+	}
+	for _, bad := range []string{"", ",", "NoColon", ":unit", "Name:"} {
+		if _, err := parseGateMetrics(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestRunChecks is the table-driven contract of the fitness gate:
+// good, improved, regressed, exactly-at-threshold, and the hard errors
+// for missing benchmarks and metrics.
+func TestRunChecks(t *testing.T) {
+	baseline := mkReport(
+		bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1000, "ns/op": 5}),
+		bench("BenchmarkDecodeV2", map[string]float64{"events/s": 2000}),
+	)
+	both := "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s"
+	cases := []struct {
+		name    string
+		current *report
+		metrics string
+		wantErr string // substring, "" = no error
+		pass    bool
+	}{
+		{
+			name: "unchanged",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1000}),
+				bench("BenchmarkDecodeV2", map[string]float64{"events/s": 2000}),
+			),
+			metrics: both, pass: true,
+		},
+		{
+			name: "improved",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1500}),
+				bench("BenchmarkDecodeV2", map[string]float64{"events/s": 2600}),
+			),
+			metrics: both, pass: true,
+		},
+		{
+			name: "regressed beyond threshold",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 899.99}),
+				bench("BenchmarkDecodeV2", map[string]float64{"events/s": 2000}),
+			),
+			metrics: both, pass: false,
+		},
+		{
+			name: "exactly at threshold passes",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 900}),
+				bench("BenchmarkDecodeV2", map[string]float64{"events/s": 1800}),
+			),
+			metrics: both, pass: true,
+		},
+		{
+			name: "missing benchmark",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1000}),
+			),
+			metrics: both, wantErr: "BenchmarkDecodeV2 not in report",
+		},
+		{
+			name: "missing metric",
+			current: mkReport(
+				bench("BenchmarkFullSimulation", map[string]float64{"ns/op": 5}),
+				bench("BenchmarkDecodeV2", map[string]float64{"events/s": 2000}),
+			),
+			metrics: both, wantErr: "no ios/s metric",
+		},
+	}
+	for _, tc := range cases {
+		checks, err := parseGateMetrics(tc.metrics)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		results, err := runChecks(baseline, tc.current, checks, 0.10)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		pass := true
+		for _, r := range results {
+			pass = pass && r.Pass
+		}
+		if pass != tc.pass {
+			t.Errorf("%s: pass = %v, want %v (results %+v)", tc.name, pass, tc.pass, results)
+		}
+	}
+}
+
+// TestRunChecksBaselineErrors: a baseline that lacks the metric or holds
+// a non-measurement is a hard error, not a silent pass.
+func TestRunChecksBaselineErrors(t *testing.T) {
+	checks, err := parseGateMetrics("BenchmarkFullSimulation:ios/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := mkReport(bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1000}))
+	for _, tc := range []struct {
+		name     string
+		baseline *report
+		want     string
+	}{
+		{"empty baseline", mkReport(), "not in report"},
+		{"zero value", mkReport(bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 0})), "not a usable measurement"},
+	} {
+		if _, err := runChecks(tc.baseline, current, checks, 0.10); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMetricFromTakesBest: with -count repetitions the gate compares the
+// best (max) observation of each side.
+func TestMetricFromTakesBest(t *testing.T) {
+	rep := mkReport(
+		bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 900}),
+		bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1100}),
+		bench("BenchmarkFullSimulation", map[string]float64{"ios/s": 1000}),
+	)
+	v, err := metricFrom(rep, gateCheck{Bench: "BenchmarkFullSimulation", Metric: "ios/s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1100 {
+		t.Fatalf("best = %g, want 1100", v)
+	}
+}

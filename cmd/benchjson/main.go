@@ -6,11 +6,20 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson
 //	benchjson -o BENCH_PR4.json bench.txt
+//	benchjson -gate BENCH_PR5.json -metrics "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s" -threshold 0.10 BENCH_PR6.json
 //
 // Every benchmark line becomes one entry mapping the benchmark name to
 // its iteration count and every reported metric (ns/op, B/op, allocs/op,
 // MB/s, plus custom b.ReportMetric units like ios/s or events/s). The
 // schema is documented in EXPERIMENTS.md.
+//
+// -gate compares a current report (the file argument, itself JSON) with a
+// committed baseline report: each -metrics entry names a benchmark and a
+// higher-is-better throughput metric, and the gate fails (exit 1) if any
+// current value falls more than -threshold (fractional, default 0.10)
+// below the baseline. A value exactly at the threshold passes. Missing
+// benchmarks or metrics in either report are hard errors — silently
+// skipping a renamed benchmark would void the gate.
 package main
 
 import (
@@ -51,10 +60,36 @@ type benchmark struct {
 
 func main() {
 	out := "-"
+	gateBaseline := ""
+	metricsSpec := "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s"
+	threshold := 0.10
 	args := os.Args[1:]
-	if len(args) >= 2 && args[0] == "-o" {
-		out = args[1]
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-o":
+			out = args[1]
+		case "-gate":
+			gateBaseline = args[1]
+		case "-metrics":
+			metricsSpec = args[1]
+		case "-threshold":
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v < 0 || v >= 1 {
+				fatal(fmt.Errorf("-threshold must be a fraction in [0, 1), got %q", args[1]))
+			}
+			threshold = v
+		default:
+			goto parsed
+		}
 		args = args[2:]
+	}
+parsed:
+	if gateBaseline != "" {
+		if len(args) != 1 {
+			fatal(fmt.Errorf("usage: benchjson -gate baseline.json [-metrics spec] [-threshold f] current.json"))
+		}
+		runGate(gateBaseline, args[0], metricsSpec, threshold)
+		return
 	}
 	var in io.Reader = os.Stdin
 	switch len(args) {

@@ -7,9 +7,17 @@
 //	pcapsim -exp fig7 -seed 42
 //	pcapsim -exp table1,fig6,fig8 -parallel 8
 //	pcapsim -replay traces/mozilla-000.pct2 -policies base,tp,pcap,ideal
+//	pcapsim -experiment examples/pcap-vs-timeout.json
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
 // tpsweep, multistate, predictors, devices, prefetch, and "all".
+//
+// -experiment runs an executable hypothesis (internal/hypothesis): the
+// JSON spec names an app, a candidate and a baseline policy, success
+// criteria, and optionally a counterfactual decision flip; the report
+// carries the verdict and a per-decision energy attribution. Exit status:
+// 0 when the hypothesis is supported, 3 when it is refuted, 1 on errors —
+// so a spec can gate a CI pipeline.
 //
 // The evaluation matrix fans out across -parallel workers (default: one
 // per CPU). Output is deterministic: the same seed produces byte-identical
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"pcapsim/internal/experiments"
+	"pcapsim/internal/hypothesis"
 	"pcapsim/internal/sim"
 )
 
@@ -49,6 +58,7 @@ func main() {
 		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
 		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments")
+		hypoFlag     = flag.String("experiment", "", "run an executable hypothesis from a JSON spec file")
 		policiesFlag = flag.String("policies", "base,tp,pcap,ideal", "comma-separated policies for -replay ("+strings.Join(experiments.ReplayPolicyNames(), ",")+")")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to the given file")
@@ -92,6 +102,29 @@ func main() {
 				fmt.Fprintln(os.Stderr, "pcapsim: closing mem profile:", err)
 			}
 		}()
+	}
+
+	if *hypoFlag != "" {
+		data, err := os.ReadFile(*hypoFlag)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := hypothesis.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := hypothesis.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(hypothesis.Render(res))
+		fmt.Fprintf(os.Stderr, "pcapsim: hypothesis %q in %s\n",
+			spec.Name, time.Since(start).Round(time.Millisecond))
+		if !res.Supported {
+			os.Exit(3)
+		}
+		return
 	}
 
 	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())

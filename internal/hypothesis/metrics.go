@@ -1,0 +1,127 @@
+package hypothesis
+
+import (
+	"math"
+
+	"pcapsim/internal/sim"
+)
+
+// The metric registry: every value a criterion can test, computed from
+// the candidate and baseline runs. A sorted slice (not a map) so every
+// iteration — validation messages, report rendering — is deterministic.
+
+type metricDef struct {
+	name string
+	doc  string
+	eval func(cand, base *sim.AppResult) float64
+}
+
+// pct returns part/whole as a percentage, 0 for an empty whole.
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}
+
+// metricDefs is kept sorted by name.
+var metricDefs = []metricDef{
+	{"baseline_energy_j", "baseline total energy (J)",
+		func(cand, base *sim.AppResult) float64 { return base.Energy.Total() }},
+	{"baseline_wait_s", "baseline total spin-up wait (s)",
+		func(cand, base *sim.AppResult) float64 { return base.WaitTime.Seconds() }},
+	{"candidate_energy_j", "candidate total energy (J)",
+		func(cand, base *sim.AppResult) float64 { return cand.Energy.Total() }},
+	{"candidate_wait_s", "candidate total spin-up wait (s)",
+		func(cand, base *sim.AppResult) float64 { return cand.WaitTime.Seconds() }},
+	{"hit_pct", "candidate correct shutdowns per long idle period (%)",
+		func(cand, base *sim.AppResult) float64 { return pct(cand.Global.Hits(), cand.Global.LongPeriods) }},
+	{"miss_pct", "candidate mispredicted shutdowns per long idle period (%)",
+		func(cand, base *sim.AppResult) float64 { return pct(cand.Global.Misses(), cand.Global.LongPeriods) }},
+	{"notpred_pct", "candidate unpredicted long idle periods (%)",
+		func(cand, base *sim.AppResult) float64 { return pct(cand.Global.NotPredicted, cand.Global.LongPeriods) }},
+	{"savings_pct", "candidate energy savings vs baseline (%)",
+		func(cand, base *sim.AppResult) float64 {
+			total := base.Energy.Total()
+			if total == 0 {
+				return 0
+			}
+			return (1 - cand.Energy.Total()/total) * 100
+		}},
+	{"shutdowns", "candidate shutdowns performed",
+		func(cand, base *sim.AppResult) float64 { return float64(cand.Cycles) }},
+	{"wakeups", "candidate accesses that waited for a spin-up",
+		func(cand, base *sim.AppResult) float64 { return float64(cand.Wakeups) }},
+}
+
+// MetricNames returns the metric registry's names in sorted order.
+func MetricNames() []string {
+	names := make([]string, len(metricDefs))
+	for i, m := range metricDefs {
+		names[i] = m.name
+	}
+	return names
+}
+
+// knownMetric reports whether name is in the registry.
+func knownMetric(name string) bool {
+	for _, m := range metricDefs {
+		if m.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Metric is one computed metric value.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// computeMetrics evaluates the whole registry, in registry (sorted)
+// order.
+func computeMetrics(cand, base *sim.AppResult) []Metric {
+	out := make([]Metric, len(metricDefs))
+	for i, m := range metricDefs {
+		out[i] = Metric{Name: m.name, Value: m.eval(cand, base)}
+	}
+	return out
+}
+
+// metricValue looks a computed metric up by name.
+func metricValue(metrics []Metric, name string) (float64, bool) {
+	for _, m := range metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CriterionResult is one evaluated success criterion.
+type CriterionResult struct {
+	Criterion
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// evaluate applies the criterion's operator.
+func (c Criterion) evaluate(actual float64) bool {
+	switch c.Op {
+	case ">=":
+		return actual >= c.Value
+	case ">":
+		return actual > c.Value
+	case "<=":
+		return actual <= c.Value
+	case "<":
+		return actual < c.Value
+	case "==":
+		return math.Abs(actual-c.Value) <= c.Tolerance
+	case "!=":
+		return math.Abs(actual-c.Value) > c.Tolerance
+	default:
+		return false
+	}
+}

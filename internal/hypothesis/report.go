@@ -1,0 +1,83 @@
+package hypothesis
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Render formats the result as a deterministic text report: same result,
+// same bytes — the report is diffable and goldenable like every other
+// renderer in this repo.
+func Render(res *Result) string {
+	var b strings.Builder
+	spec := res.Spec
+	fmt.Fprintf(&b, "Hypothesis: %s\n", spec.Name)
+	fmt.Fprintf(&b, "  %s\n", spec.Hypothesis)
+	device := spec.Device
+	if device == "" {
+		device = "Fujitsu MHF 2043AT (paper)"
+	}
+	fmt.Fprintf(&b, "App: %s  Candidate: %s  Baseline: %s  Seed: %d  Scale: %d\n",
+		spec.App, spec.Candidate, spec.Baseline, spec.seed(), spec.scale())
+	fmt.Fprintf(&b, "Device: %s\n", device)
+	fmt.Fprintf(&b, "Run: %d executions, %d disk accesses, %d decisions\n\n",
+		res.Candidate.Executions, res.Candidate.DiskAccesses, res.Decisions)
+
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "Metric\tValue\n")
+	for _, m := range res.Metrics {
+		fmt.Fprintf(tw, "%s\t%.4f\n", m.Name, m.Value)
+	}
+	tw.Flush()
+	b.WriteString("\n")
+
+	fmt.Fprintf(tw, "Criterion\tActual\tResult\n")
+	for _, c := range res.Criteria {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		want := fmt.Sprintf("%s %s %g", c.Metric, c.Op, c.Value)
+		if c.Tolerance > 0 {
+			want += fmt.Sprintf(" ±%g", c.Tolerance)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%s\n", want, c.Actual, verdict)
+	}
+	tw.Flush()
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Decision attribution (top %d by energy saved if flipped):\n", len(res.Attribution))
+	fmt.Fprintf(tw, "Rank\tDecision\tExec\tPid\tPC\tStart\tIdle\tMade\tFlip ΔE (J)\tFlip Δwait (s)\n")
+	for i, rec := range res.Attribution {
+		made := "spin"
+		if rec.Shutdown() {
+			made = "shutdown"
+		}
+		fmt.Fprintf(tw, "%d\t#%d\t%d\t%d\t0x%x\t%s\t%s\t%s\t%+.4f\t%+.4f\n",
+			i+1, rec.Index, rec.Exec, rec.Pid, uint32(rec.PC),
+			rec.Start, rec.ActualIdle(), made, rec.FlipDelta, rec.FlipWait.Seconds())
+	}
+	tw.Flush()
+
+	if cf := res.Counterfactual; cf != nil {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "Counterfactual: decision #%d flipped and replayed\n", cf.Record.Index)
+		fmt.Fprintf(tw, "\tPredicted\tMeasured\n")
+		fmt.Fprintf(tw, "Energy ΔJ\t%+.6f\t%+.6f\n", cf.PredictedEnergyDelta, cf.MeasuredEnergyDelta)
+		fmt.Fprintf(tw, "Wait Δs\t%+.6f\t%+.6f\n", cf.PredictedWaitDelta.Seconds(), cf.MeasuredWaitDelta.Seconds())
+		tw.Flush()
+		match := "attribution matches replay"
+		if !cf.Matches {
+			match = "ATTRIBUTION MISMATCH"
+		}
+		fmt.Fprintf(&b, "Replay energy: %.4f J (%s)\n", cf.ReplayEnergyJ, match)
+	}
+
+	verdict := "SUPPORTED"
+	if !res.Supported {
+		verdict = "REFUTED"
+	}
+	fmt.Fprintf(&b, "\nVERDICT: %s — %q\n", verdict, spec.Hypothesis)
+	return b.String()
+}

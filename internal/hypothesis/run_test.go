@@ -1,0 +1,170 @@
+package hypothesis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+// testSpec returns a small runnable spec (nedit is the lightest
+// workload).
+func testSpec() *Spec {
+	return &Spec{
+		Name:       "pcap-beats-timeout-nedit",
+		Hypothesis: "PCAP saves energy vs a 10s timeout on nedit",
+		App:        "nedit",
+		Candidate:  "pcap",
+		Baseline:   "tp",
+		Criteria: []Criterion{
+			{Metric: "savings_pct", Op: ">=", Value: 0},
+			{Metric: "candidate_energy_j", Op: ">", Value: 0},
+		},
+		Counterfactual: &Counterfactual{Flip: "worst", TopN: 3},
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	spec := testSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions != res.Candidate.DiskAccesses {
+		t.Errorf("recorded %d decisions for %d disk accesses", res.Decisions, res.Candidate.DiskAccesses)
+	}
+	if got, _ := metricValue(res.Metrics, "candidate_energy_j"); got != res.Candidate.Energy.Total() {
+		t.Errorf("candidate_energy_j = %g, result says %g", got, res.Candidate.Energy.Total())
+	}
+	if got, _ := metricValue(res.Metrics, "baseline_energy_j"); got != res.Baseline.Energy.Total() {
+		t.Errorf("baseline_energy_j = %g, result says %g", got, res.Baseline.Energy.Total())
+	}
+	if len(res.Attribution) != 3 {
+		t.Errorf("attribution table has %d rows, want 3", len(res.Attribution))
+	}
+	for i := 1; i < len(res.Attribution); i++ {
+		if res.Attribution[i-1].FlipDelta > res.Attribution[i].FlipDelta {
+			t.Errorf("attribution not sorted by FlipDelta: row %d", i)
+		}
+	}
+	cf := res.Counterfactual
+	if cf == nil {
+		t.Fatal("counterfactual requested but absent")
+	}
+	if !cf.Matches {
+		t.Errorf("counterfactual replay disagrees with attribution: predicted %g measured %g (wait %v vs %v)",
+			cf.PredictedEnergyDelta, cf.MeasuredEnergyDelta, cf.PredictedWaitDelta, cf.MeasuredWaitDelta)
+	}
+	if cf.Record.Index != res.Attribution[0].Index {
+		t.Errorf("worst flip chose decision %d, attribution ranks %d first", cf.Record.Index, res.Attribution[0].Index)
+	}
+	// Flipping the worst decision must measurably change energy: if the
+	// best possible single flip were a no-op the attribution would be
+	// vacuous.
+	if math.Abs(cf.MeasuredEnergyDelta) == 0 {
+		t.Error("flipping the worst decision did not change energy")
+	}
+	if !res.Supported {
+		t.Errorf("verdict REFUTED; criteria: %+v", res.Criteria)
+	}
+}
+
+// TestRunIsDeterministic: two runs of one spec produce identical reports.
+func TestRunIsDeterministic(t *testing.T) {
+	spec := testSpec()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := Render(a), Render(b)
+	if ra != rb {
+		t.Fatalf("reports differ between identical runs:\n%s\nvs\n%s", ra, rb)
+	}
+	for _, want := range []string{
+		"Hypothesis: pcap-beats-timeout-nedit",
+		"Decision attribution",
+		"Counterfactual: decision #",
+		"VERDICT:",
+	} {
+		if !strings.Contains(ra, want) {
+			t.Errorf("report missing %q:\n%s", want, ra)
+		}
+	}
+}
+
+// TestRunFlipByIndex exercises the "index" selector and the exact wait
+// accounting it must preserve.
+func TestRunFlipByIndex(t *testing.T) {
+	spec := testSpec()
+	spec.Counterfactual = &Counterfactual{Flip: "index", Index: 0, TopN: 1}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := res.Counterfactual
+	if cf.Record.Index != 0 {
+		t.Fatalf("flip by index chose decision %d", cf.Record.Index)
+	}
+	if !cf.Matches {
+		t.Errorf("index flip: predicted %g measured %g", cf.PredictedEnergyDelta, cf.MeasuredEnergyDelta)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	spec := testSpec()
+	spec.Counterfactual = &Counterfactual{Flip: "index", Index: 1 << 40}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range flip index: err = %v", err)
+	}
+}
+
+// TestCriterionOps pins the operator semantics, including tolerance.
+func TestCriterionOps(t *testing.T) {
+	cases := []struct {
+		c      Criterion
+		actual float64
+		want   bool
+	}{
+		{Criterion{Op: ">=", Value: 5}, 5, true},
+		{Criterion{Op: ">=", Value: 5}, 4.9, false},
+		{Criterion{Op: ">", Value: 5}, 5, false},
+		{Criterion{Op: "<=", Value: 5}, 5, true},
+		{Criterion{Op: "<", Value: 5}, 5, false},
+		{Criterion{Op: "==", Value: 5, Tolerance: 0.1}, 5.05, true},
+		{Criterion{Op: "==", Value: 5, Tolerance: 0.1}, 5.2, false},
+		{Criterion{Op: "==", Value: 5}, 5, true},
+		{Criterion{Op: "!=", Value: 5, Tolerance: 0.1}, 5.05, false},
+		{Criterion{Op: "!=", Value: 5, Tolerance: 0.1}, 5.2, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.evaluate(tc.actual); got != tc.want {
+			t.Errorf("%s %g (tol %g) against %g = %v, want %v",
+				tc.c.Op, tc.c.Value, tc.c.Tolerance, tc.actual, got, tc.want)
+		}
+	}
+}
+
+// TestRankDecisions pins the deterministic ordering contract.
+func TestRankDecisions(t *testing.T) {
+	recs := []trace.DecisionRecord{
+		{Index: 0, FlipDelta: 1},
+		{Index: 1, FlipDelta: -3},
+		{Index: 2, FlipDelta: -3},
+		{Index: 3, FlipDelta: -7},
+	}
+	ranked := rankDecisions(recs, 3)
+	if ranked[0].Index != 3 || ranked[1].Index != 1 || ranked[2].Index != 2 {
+		t.Fatalf("ranked order = %d, %d, %d", ranked[0].Index, ranked[1].Index, ranked[2].Index)
+	}
+	if len(rankDecisions(recs, 10)) != len(recs) {
+		t.Fatal("over-long topn not clamped")
+	}
+}

@@ -18,6 +18,7 @@ var resultAffectingPackages = map[string]bool{
 	"internal/predictor":   true,
 	"internal/prefetch":    true,
 	"internal/ltree":       true,
+	"internal/hypothesis":  true,
 }
 
 // resultAffecting reports whether the module-relative package path is in

@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+// TestResultAffectingScope pins the analyzer scope: every package on the
+// generation → simulation → rendering path (including the hypothesis
+// harness, which feeds verdicts from simulation results) is covered by
+// detmap/nondet-source, while the sanctioned exceptions stay out.
+func TestResultAffectingScope(t *testing.T) {
+	for _, p := range []string{
+		"internal/sim", "internal/trace", "internal/experiments",
+		"internal/hypothesis", "internal/workload", "internal/predictor",
+	} {
+		if !resultAffecting(p) {
+			t.Errorf("%s not in the result-affecting scope", p)
+		}
+	}
+	for _, p := range []string{"internal/rng", "cmd/pcapsim", "internal/lint"} {
+		if resultAffecting(p) {
+			t.Errorf("%s must stay outside the result-affecting scope", p)
+		}
+	}
+}
+
+func TestErrcheckScope(t *testing.T) {
+	for _, p := range []string{"internal/trace", "internal/persist", "cmd/benchjson"} {
+		if !errcheckScope(p) {
+			t.Errorf("%s not in the errcheck-lite scope", p)
+		}
+	}
+	if errcheckScope("internal/sim") {
+		t.Error("internal/sim must stay outside the errcheck-lite scope")
+	}
+}

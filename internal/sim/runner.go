@@ -197,6 +197,13 @@ func (r *Runner) RunApp(traces []*trace.Trace, pol Policy) (*AppResult, error) {
 // per execution, including floating-point accumulation order, is shared
 // code.
 func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
+	return r.runSource(src, pol, nil)
+}
+
+// runSource is the shared body of RunSource and RunSourceTraced. tr is nil
+// for plain runs; a traced run threads it into every execution so decision
+// records and counterfactual flips share the single simulation loop.
+func (r *Runner) runSource(src trace.Source, pol Policy, tr *tracedRun) (*AppResult, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,7 +253,7 @@ func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.runExecution(ex, rs, f, pol, res); err != nil {
+		if err := r.runExecution(ex, rs, f, pol, res, tr); err != nil {
 			return nil, fmt.Errorf("sim: %s execution %d: %w", app, exec, err)
 		}
 		res.Executions++
@@ -272,8 +279,8 @@ type decisionState struct {
 
 // runExecution replays one prepared execution under factory f, using rs's
 // recycled working set (service schedule, per-pid predictor and decision
-// maps).
-func (r *Runner) runExecution(ex *execution, rs *runState, f predictor.Factory, pol Policy, res *AppResult) error {
+// maps). tr, when non-nil, records and counterfactually flips decisions.
+func (r *Runner) runExecution(ex *execution, rs *runState, f predictor.Factory, pol Policy, res *AppResult, tr *tracedRun) error {
 	d := &r.cfg.Disk
 	res.TotalIOs += ex.totalIOs
 	res.DiskAccesses += len(ex.accesses)
@@ -396,6 +403,9 @@ func (r *Runner) runExecution(ex *execution, rs *runState, f predictor.Factory, 
 			}
 		} else {
 			s, src, found, decider = r.combine(ex, dec, decided, T0, T1)
+		}
+		if tr != nil {
+			s, src, found = tr.decide(r, ex, a, serviceEnd[i], T0, T1, s, src, found, terminal, long)
 		}
 		if r.PeriodHook != nil && !terminal {
 			r.PeriodHook(PeriodRecord{
