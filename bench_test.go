@@ -15,10 +15,12 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"pcapsim/internal/classic"
 	"pcapsim/internal/core"
 	"pcapsim/internal/experiments"
+	"pcapsim/internal/fleet"
 	"pcapsim/internal/fscache"
 	"pcapsim/internal/ltree"
 	"pcapsim/internal/predictor"
@@ -773,6 +775,106 @@ func BenchmarkScalePeakMaterialized1(b *testing.B)  { benchScalePeak(b, 1, false
 func BenchmarkScalePeakMaterialized10(b *testing.B) { benchScalePeak(b, 10, false) }
 func BenchmarkScalePeakStreaming1(b *testing.B)     { benchScalePeak(b, 1, true) }
 func BenchmarkScalePeakStreaming10(b *testing.B)    { benchScalePeak(b, 10, true) }
+
+// --- Fleet engine ---------------------------------------------------------
+
+// fleetBenchConfig is the shared fleet benchmark setup: n machines, one
+// execution each, heterogeneous devices from the full catalog, the default
+// six-app mix, and arrivals at a constant rate (one machine every 30
+// virtual seconds), so the concurrently active set — sessions run tens of
+// virtual minutes — is a few dozen machines regardless of fleet size.
+func fleetBenchConfig(b *testing.B, n int) fleet.Config {
+	b.Helper()
+	pf, err := experiments.FleetPolicy("pcap", sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fleet.Config{
+		Machines:   n,
+		Seed:       experiments.DefaultSeed,
+		Executions: 1,
+		Stagger:    trace.Time(n) * 30 * trace.Second,
+		Policy:     pf,
+	}
+}
+
+// benchFleet measures shared-clock fleet throughput (machines/s, events/s).
+func benchFleet(b *testing.B, n int) {
+	b.Helper()
+	cfg := fleetBenchConfig(b, n)
+	var events, machines int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machines != n || res.Executions != int64(n) {
+			b.Fatalf("fleet ran %d machines / %d executions, want %d / %d",
+				res.Machines, res.Executions, n, n)
+		}
+		events += res.TotalIOs
+		machines += int64(res.Machines)
+	}
+	b.ReportMetric(float64(machines)/b.Elapsed().Seconds(), "machines/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkFleet1k(b *testing.B)  { benchFleet(b, 1000) }
+func BenchmarkFleet10k(b *testing.B) { benchFleet(b, 10000) }
+
+// benchFleetPeakHeap measures the peak live heap during a fleet run,
+// sampled by a GC-then-read goroutine — the number that demonstrates
+// O(active machines) memory: at a constant arrival rate it stays
+// near-flat from FleetPeakHeap1k to FleetPeakHeap10k while total work
+// grows 10x. It is separate from the throughput benchmarks because the
+// forced GCs distort timing.
+func benchFleetPeakHeap(b *testing.B, n int) {
+	b.Helper()
+	cfg := fleetBenchConfig(b, n)
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		sampled := make(chan struct{})
+		var peak uint64
+		go func() {
+			defer close(sampled)
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(150 * time.Millisecond):
+					runtime.GC()
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak {
+						peak = ms.HeapAlloc
+					}
+				}
+			}
+		}()
+		f, err := fleet.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		close(stop)
+		<-sampled
+		if i == b.N-1 {
+			b.ReportMetric(float64(peak)/1024, "peak-heap-KB")
+			b.ReportMetric(float64(res.PeakConcurrent), "peak-active")
+		}
+	}
+}
+
+func BenchmarkFleetPeakHeap1k(b *testing.B)  { benchFleetPeakHeap(b, 1000) }
+func BenchmarkFleetPeakHeap10k(b *testing.B) { benchFleetPeakHeap(b, 10000) }
 
 func BenchmarkPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {

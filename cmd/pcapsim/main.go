@@ -8,9 +8,19 @@
 //	pcapsim -exp table1,fig6,fig8 -parallel 8
 //	pcapsim -replay traces/mozilla-000.pct2 -policies base,tp,pcap,ideal
 //	pcapsim -experiment examples/pcap-vs-timeout.json
+//	pcapsim -fleet 1000 -duration 30m -mix mozilla:2,xemacs:1 -policies base,tp,pcap
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
 // tpsweep, multistate, predictors, devices, prefetch, and "all".
+//
+// -fleet N simulates a fleet of N machines on a shared virtual clock
+// (internal/fleet) instead of the paper's per-app experiments: machines
+// draw heterogeneous devices from the disk catalog and per-execution
+// applications from the -mix weights ("app:weight,app:weight"; default
+// all six apps equally), run sessions of -duration virtual time with
+// arrivals staggered across one session, and the run prints each
+// policy's aggregate fleet report plus a cross-policy comparison. The
+// output is byte-identical for a seed at any -parallel value.
 //
 // -experiment runs an executable hypothesis (internal/hypothesis): the
 // JSON spec names an app, a candidate and a baseline policy, success
@@ -41,12 +51,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"pcapsim/internal/experiments"
+	"pcapsim/internal/fleet"
 	"pcapsim/internal/hypothesis"
 	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
 )
 
 func main() {
@@ -59,7 +72,10 @@ func main() {
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
 		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments")
 		hypoFlag     = flag.String("experiment", "", "run an executable hypothesis from a JSON spec file")
-		policiesFlag = flag.String("policies", "base,tp,pcap,ideal", "comma-separated policies for -replay ("+strings.Join(experiments.ReplayPolicyNames(), ",")+")")
+		fleetFlag    = flag.Int("fleet", 0, "simulate a fleet of N machines instead of running experiments")
+		mixFlag      = flag.String("mix", "", "fleet application mix as app:weight,app:weight (default: all apps, equal weights)")
+		durationFlag = flag.Duration("duration", 30*time.Minute, "fleet per-machine virtual session length")
+		policiesFlag = flag.String("policies", "base,tp,pcap,ideal", "comma-separated policies for -replay and -fleet ("+strings.Join(experiments.ReplayPolicyNames(), ",")+")")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to the given file")
 	)
@@ -127,6 +143,32 @@ func main() {
 		return
 	}
 
+	if *fleetFlag != 0 {
+		if *fleetFlag < 0 {
+			fatal(fmt.Errorf("fleet: machine count must be positive, got %d", *fleetFlag))
+		}
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := fleet.Config{
+			Machines: *fleetFlag,
+			Seed:     *seedFlag,
+			Session:  trace.FromSeconds(durationFlag.Seconds()),
+			Mix:      mix,
+			Workers:  *parallelFlag,
+		}
+		start := time.Now()
+		out, err := experiments.FleetComparison(cfg, splitList(*policiesFlag))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "pcapsim: fleet of %d machines in %s (parallel=%d)\n",
+			*fleetFlag, time.Since(start).Round(time.Millisecond), *parallelFlag)
+		return
+	}
+
 	suite, err := experiments.NewSuite(*seedFlag, sim.DefaultConfig())
 	if err != nil {
 		fatal(err)
@@ -135,14 +177,8 @@ func main() {
 	suite.SetOnDemand(*onDemandFlag)
 
 	if *replayFlag != "" {
-		var policies []string
-		for _, p := range strings.Split(*policiesFlag, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				policies = append(policies, p)
-			}
-		}
 		start := time.Now()
-		out, err := suite.ReplayFile(*replayFlag, policies)
+		out, err := suite.ReplayFile(*replayFlag, splitList(*policiesFlag))
 		if err != nil {
 			fatal(err)
 		}
@@ -198,6 +234,36 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pcapsim: %d experiment(s) in %s (parallel=%d)\n",
 		len(wanted), time.Since(start).Round(time.Millisecond), *parallelFlag)
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseMix parses the -mix flag: "app:weight,app:weight", weight
+// defaulting to 1. An empty flag returns nil (the fleet's default mix).
+func parseMix(s string) ([]fleet.AppShare, error) {
+	var mix []fleet.AppShare
+	for _, part := range splitList(s) {
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		share := fleet.AppShare{Name: strings.TrimSpace(name), Weight: 1}
+		if hasWeight {
+			w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-mix: bad weight in %q: %w", part, err)
+			}
+			share.Weight = w
+		}
+		mix = append(mix, share)
+	}
+	return mix, nil
 }
 
 func fatal(err error) {

@@ -67,3 +67,78 @@ func WirelessNIC() Params {
 func Devices() []Params {
 	return []Params{FujitsuMHF2043AT(), Laptop25Inch(), Desktop35Inch(), WirelessNIC()}
 }
+
+// The fleet catalog extends the evaluated profiles with further device
+// classes for heterogeneous-fleet simulation (internal/fleet): drives a
+// large user population would actually mix — a slow consumer 5400 rpm
+// laptop drive, a server-class enterprise drive whose heavy platters make
+// shutdowns rarely worthwhile, and an aggressively power-managed mobile
+// drive with a fast unload path and an intermediate low-power idle state.
+// Constants follow the same calibration discipline as the profiles above:
+// per-state powers and fixed transition energies are representative of the
+// class, and the breakeven time is derived, not asserted.
+
+// Laptop5400RPM returns a representative consumer 5400 rpm 2.5-inch
+// drive: slower electronics than Laptop25Inch, heavier spin-up, breakeven
+// ≈ 6.5 s.
+func Laptop5400RPM() Params {
+	p := Params{
+		Name:           "5400 rpm laptop disk",
+		BusyPower:      2.3,
+		IdlePower:      1.1,
+		StandbyPower:   0.2,
+		SpinUpEnergy:   5.5,
+		ShutdownEnergy: 0.5,
+		SpinUpTime:     trace.FromSeconds(1.9),
+		ShutdownTime:   trace.FromSeconds(0.8),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// Enterprise10K returns a representative enterprise 10k rpm drive:
+// massive spin-up energy and a high idle floor push the breakeven near
+// twenty seconds, so shutdown opportunities are rare and expensive to
+// mispredict.
+func Enterprise10K() Params {
+	p := Params{
+		Name:           "enterprise 10k rpm disk",
+		BusyPower:      13.5,
+		IdlePower:      9.0,
+		StandbyPower:   2.0,
+		SpinUpEnergy:   135.0,
+		ShutdownEnergy: 9.0,
+		SpinUpTime:     trace.FromSeconds(6.0),
+		ShutdownTime:   trace.FromSeconds(1.5),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// AggressiveMobile returns a representative aggressively power-managed
+// mobile drive: fast head unload, cheap transitions, and an intermediate
+// low-power idle state (for the multi-state wait-window extension), with
+// a breakeven around three seconds.
+func AggressiveMobile() Params {
+	p := Params{
+		Name:              "aggressive low-power mobile disk",
+		BusyPower:         1.8,
+		IdlePower:         0.65,
+		StandbyPower:      0.1,
+		LowPowerIdlePower: 0.35,
+		SpinUpEnergy:      1.6,
+		ShutdownEnergy:    0.15,
+		SpinUpTime:        trace.FromSeconds(0.7),
+		ShutdownTime:      trace.FromSeconds(0.3),
+	}
+	p.Breakeven = p.ComputeBreakeven()
+	return p
+}
+
+// Catalog returns every device profile available to heterogeneous fleet
+// simulation: the evaluated set of Devices plus the fleet-only classes,
+// in a fixed order (the paper's drive first). Devices() itself is
+// unchanged so the device-sweep experiment keeps its published rows.
+func Catalog() []Params {
+	return append(Devices(), Laptop5400RPM(), Enterprise10K(), AggressiveMobile())
+}

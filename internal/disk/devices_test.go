@@ -1,0 +1,85 @@
+package disk
+
+import (
+	"testing"
+
+	"pcapsim/internal/trace"
+)
+
+// TestCatalogValid checks every profile in the fleet catalog is a
+// physically sensible parameter set with a derived (not asserted)
+// breakeven: Validate passes, the breakeven equals ComputeBreakeven, and
+// the breakeven is never below the transition cycle time.
+func TestCatalogValid(t *testing.T) {
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if p.Name == FujitsuMHF2043AT().Name {
+				// The paper's drive uses Table 2's published breakeven,
+				// which is its own calibration.
+				return
+			}
+			if got, want := p.Breakeven, p.ComputeBreakeven(); got != want {
+				t.Errorf("Breakeven = %v, ComputeBreakeven() = %v", got, want)
+			}
+			if p.Breakeven < p.CycleTime() {
+				t.Errorf("Breakeven %v below cycle time %v", p.Breakeven, p.CycleTime())
+			}
+		})
+	}
+}
+
+// TestCatalogDistinct checks the catalog profiles are distinct by name
+// and that the catalog is a strict superset of the evaluated Devices()
+// set in the same leading order — the device-sweep experiment's rows must
+// not move when the fleet catalog grows.
+func TestCatalogDistinct(t *testing.T) {
+	cat := Catalog()
+	seen := make(map[string]bool, len(cat))
+	for _, p := range cat {
+		if seen[p.Name] {
+			t.Errorf("duplicate catalog device %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	dev := Devices()
+	if len(cat) < len(dev)+3 {
+		t.Fatalf("catalog has %d profiles, want at least %d", len(cat), len(dev)+3)
+	}
+	for i, p := range dev {
+		if cat[i].Name != p.Name {
+			t.Errorf("catalog[%d] = %q, want evaluated device %q", i, cat[i].Name, p.Name)
+		}
+	}
+}
+
+// TestCatalogBreakevenSpread checks the fleet catalog actually spans
+// device classes: the spread of breakeven times across profiles is what
+// makes a heterogeneous fleet exercise the predictors differently per
+// machine.
+func TestCatalogBreakevenSpread(t *testing.T) {
+	lo, hi := trace.Time(0), trace.Time(0)
+	for i, p := range Catalog() {
+		if i == 0 || p.Breakeven < lo {
+			lo = p.Breakeven
+		}
+		if p.Breakeven > hi {
+			hi = p.Breakeven
+		}
+	}
+	if hi < 10*lo {
+		t.Errorf("breakeven spread too narrow: min %v, max %v (want ≥10x)", lo, hi)
+	}
+	if e := Enterprise10K(); e.Breakeven < trace.FromSeconds(15) {
+		t.Errorf("enterprise breakeven %v implausibly low", e.Breakeven)
+	}
+	if a := AggressiveMobile(); a.Breakeven > trace.FromSeconds(5) {
+		t.Errorf("aggressive-mobile breakeven %v implausibly high", a.Breakeven)
+	}
+	if a := AggressiveMobile(); a.LowPowerIdlePower <= 0 {
+		t.Error("aggressive-mobile drive should expose a low-power idle state")
+	}
+}

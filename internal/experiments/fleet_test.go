@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/fleet"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/workload"
+)
+
+// fleetOfOne builds a 1-machine fleet pinned to one app on the paper's
+// drive, running the app's full recorded execution count.
+func fleetOfOne(t *testing.T, app *workload.App, policy string) *fleet.Fleet {
+	t.Helper()
+	pf, err := FleetPolicy(policy, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.New(fleet.Config{
+		Machines:   1,
+		Seed:       DefaultSeed,
+		Executions: app.Executions,
+		Mix:        []fleet.AppShare{{Name: app.Name, Weight: 1}},
+		Devices:    []fleet.DeviceShare{{Device: disk.FujitsuMHF2043AT(), Weight: 1}},
+		Base:       sim.DefaultConfig(),
+		Policy:     pf,
+		Workers:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetOfOneEqualsRunApp is the fleet engine's ground truth: a fleet
+// of exactly one machine running one app's full execution sequence must
+// produce an AppResult identical — %+v-identical, floats included — to
+// Runner.RunApp over the same generated traces, for every app and every
+// suite policy. The fleet layers (mix source, shared-clock heap, lazy
+// activation, fold) may add nothing and lose nothing.
+func TestFleetOfOneEqualsRunApp(t *testing.T) {
+	apps := workload.Apps()
+	policies := ReplayPolicyNames()
+	if testing.Short() {
+		apps = apps[3:5] // xemacs, nedit: the small workloads
+		policies = []string{"base", "tp", "lt", "pcap", "ideal"}
+	}
+	runner := sim.MustNewRunner(sim.DefaultConfig())
+	suite := NewDefaultSuite()
+	for _, app := range apps {
+		for _, policy := range policies {
+			t.Run(app.Name+"/"+policy, func(t *testing.T) {
+				f := fleetOfOne(t, app, policy)
+				var got sim.AppResult
+				cfg := f.Config()
+				cfg.Observe = func(id int, res *sim.AppResult) { got = *res }
+				f, err := fleet.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Run(); err != nil {
+					t.Fatal(err)
+				}
+
+				// The reference run uses the machine's derived workload
+				// seed: the fleet machine and RunApp must consume the same
+				// generated traces.
+				seed := f.Spec(0).WorkloadSeed
+				pol, ok := suite.PolicyByName(policy)
+				if !ok {
+					t.Fatalf("unknown policy %q", policy)
+				}
+				want, err := runner.RunApp(app.Traces(seed), pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g, w := fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", *want); g != w {
+					t.Errorf("fleet-of-one diverges from RunApp:\n got %s\nwant %s", g, w)
+				}
+			})
+		}
+	}
+}
+
+// TestFleetDeterminism checks the fleet's cross-worker contract: the
+// rendered aggregate report of a heterogeneous, staggered fleet is
+// byte-identical at 1, 4 and 8 workers.
+func TestFleetDeterminism(t *testing.T) {
+	machines := 120
+	if testing.Short() {
+		machines = 40
+	}
+	pf, err := FleetPolicy("pcap", sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		f, err := fleet.New(fleet.Config{
+			Machines: machines,
+			Seed:     DefaultSeed,
+			Session:  600 * 1e6, // 10 virtual minutes
+			Policy:   pf,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	want := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != want {
+			t.Errorf("fleet report differs between 1 and %d workers:\n%d workers:\n%s\n1 worker:\n%s",
+				workers, workers, got, want)
+		}
+	}
+}

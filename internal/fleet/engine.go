@@ -1,0 +1,372 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+)
+
+// The shared-clock engine.
+//
+// Machines are sharded across workers in contiguous ID ranges. Each worker
+// multiplexes its shard over a binary min-heap of global next-event times:
+// the shard's virtual clock is min(next arrival, heap minimum), machines
+// materialize state lazily when the clock reaches their arrival, advance
+// in batched steps while they hold the earliest scheduled event, and
+// retire — releasing their pooled runState and event buffer — the moment
+// their session drains. Live memory therefore tracks the number of
+// machines whose sessions overlap, not the fleet size or the event count.
+//
+// Machines never interact, so the interleaving the heap picks cannot
+// change any machine's result; it exists to bound memory. Determinism
+// across worker counts comes from the fold: per-machine results land in a
+// fleet-indexed slice and are committed to the aggregate strictly in
+// machine-ID order, fixing every floating-point accumulation order.
+
+// live is one active machine's engine-side state.
+type live struct {
+	m *sim.Machine
+	// arrival offsets the machine's session-relative event times onto the
+	// fleet's shared clock.
+	arrival trace.Time
+}
+
+// heapItem schedules one machine's next event on the shared clock.
+type heapItem struct {
+	t  trace.Time // global time: arrival + session-relative next event
+	id int        // machine ID, the deterministic tie-break
+	lm *live
+}
+
+// eventHeap is a hand-rolled binary min-heap of scheduled machine events,
+// ordered by (time, machine ID).
+type eventHeap []heapItem
+
+func (h eventHeap) before(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *eventHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).before(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = heapItem{} // release the *live reference
+	*h = old[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && old.before(left, least) {
+			least = left
+		}
+		if right < n && old.before(right, least) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		old[i], old[least] = old[least], old[i]
+		i = least
+	}
+	return top
+}
+
+// Result is a fleet run's aggregate accounting. Every field is identical
+// — byte-for-byte under Render — for a given Config regardless of worker
+// count, because the per-machine results are folded in machine-ID order.
+type Result struct {
+	// Policy is the evaluated policy's name.
+	Policy string
+	// Machines is the fleet size.
+	Machines int
+	// Executions, TotalIOs and DiskAccesses total the fleet's sessions.
+	Executions   int64
+	TotalIOs     int64
+	DiskAccesses int64
+	// Local and Global accumulate the per-machine idle-period outcome
+	// counts (the paper's Figures 6 and 7, fleet-wide).
+	Local  sim.Counts
+	Global sim.Counts
+	// Energy is the fleet's total disk energy.
+	Energy disk.EnergyBreakdown
+	// Cycles is the number of shutdowns performed fleet-wide.
+	Cycles int64
+	// Wakeups and WaitTime total the user-visible spin-up latency.
+	Wakeups  int64
+	WaitTime trace.Time
+	// MachineTime is the summed per-machine session length; SimTime is
+	// the fleet horizon (the latest session end on the shared clock).
+	MachineTime trace.Time
+	SimTime     trace.Time
+	// PeakConcurrent is the maximum number of simultaneously active
+	// sessions, from the arrival/retirement interval sweep. It is a
+	// property of the schedule, not of the worker count.
+	PeakConcurrent int
+	// WaitHist buckets machines by their session's total spin-up wait —
+	// the fleet's latency-penalty distribution. Bucket i counts machines
+	// with total wait in WaitHistLabels[i].
+	WaitHist [7]int64
+	// DeviceUse breaks the fleet down by device profile, in catalog
+	// order.
+	DeviceUse []DeviceUsage
+}
+
+// DeviceUsage is one device profile's share of a fleet run.
+type DeviceUsage struct {
+	Device   string
+	Machines int
+	EnergyJ  float64
+}
+
+// WaitHistLabels names Result.WaitHist's buckets.
+var WaitHistLabels = [7]string{"0", "<=2s", "<=5s", "<=15s", "<=60s", "<=300s", ">300s"}
+
+// waitBucket maps a machine's total session wait to its histogram bucket.
+func waitBucket(w trace.Time) int {
+	switch {
+	case w == 0:
+		return 0
+	case w <= 2*trace.Second:
+		return 1
+	case w <= 5*trace.Second:
+		return 2
+	case w <= 15*trace.Second:
+		return 3
+	case w <= 60*trace.Second:
+		return 4
+	case w <= 300*trace.Second:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Run simulates the fleet and returns its aggregate result.
+func (f *Fleet) Run() (*Result, error) {
+	n := f.cfg.Machines
+	workers := f.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	results := make([]sim.AppResult, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		ids := make([]int, hi-lo)
+		for i := range ids {
+			ids[i] = lo + i
+		}
+		wg.Add(1)
+		go func(w int, ids []int) {
+			defer wg.Done()
+			errs[w] = f.runShard(ids, results)
+		}(w, ids)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f.fold(results), nil
+}
+
+// runShard advances the given machines over one shared-clock heap,
+// writing each machine's result into results[id]. The ids may arrive in
+// any order — the schedule is rebuilt from arrival times, so shard
+// composition, not ID insertion order, determines the advancement
+// sequence, and machine independence makes even that sequence
+// result-neutral.
+func (f *Fleet) runShard(ids []int, results []sim.AppResult) error {
+	type arrival struct {
+		at  trace.Time
+		id  int
+		dev int
+	}
+	arr := make([]arrival, 0, len(ids))
+	for _, id := range ids {
+		s := f.Spec(id)
+		arr = append(arr, arrival{at: s.Arrival, id: id, dev: s.Device})
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].at != arr[j].at {
+			return arr[i].at < arr[j].at
+		}
+		return arr[i].id < arr[j].id
+	})
+
+	retire := func(id int, lm *live) error {
+		res, err := lm.m.Finish()
+		if err != nil {
+			return fmt.Errorf("fleet: machine %d: %w", id, err)
+		}
+		results[id] = *res
+		return nil
+	}
+
+	var h eventHeap
+	ai := 0
+	for ai < len(arr) || len(h) > 0 {
+		// Admit every machine whose arrival does not come after the next
+		// scheduled event: the shard clock is min(next arrival, heap min),
+		// and state materializes only when the clock reaches the arrival.
+		for ai < len(arr) && (len(h) == 0 || arr[ai].at <= h[0].t) {
+			a := arr[ai]
+			ai++
+			m, err := f.runners[a.dev].NewMachine(f.newMixSource(a.id), f.policies[a.dev])
+			if err != nil {
+				return fmt.Errorf("fleet: machine %d: %w", a.id, err)
+			}
+			lm := &live{m: m, arrival: a.at}
+			t, ok := m.NextTime()
+			if !ok {
+				if err := retire(a.id, lm); err != nil {
+					return err
+				}
+				continue
+			}
+			h.push(heapItem{t: a.at + t, id: a.id, lm: lm})
+		}
+		if len(h) == 0 {
+			continue
+		}
+		it := h.pop()
+		// Batched stepping: keep advancing this machine while it holds the
+		// earliest scheduled work, so runs of consecutive events on one
+		// machine cost no heap traffic.
+		limit := infClock
+		if len(h) > 0 {
+			limit = h[0].t
+		}
+		if ai < len(arr) && arr[ai].at < limit {
+			limit = arr[ai].at
+		}
+		for {
+			it.lm.m.Step()
+			t, ok := it.lm.m.NextTime()
+			if !ok {
+				if err := retire(it.id, it.lm); err != nil {
+					return err
+				}
+				break
+			}
+			if gt := it.lm.arrival + t; gt > limit {
+				h.push(heapItem{t: gt, id: it.id, lm: it.lm})
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// infClock is a sentinel beyond any event time.
+const infClock = trace.Time(1<<63 - 1)
+
+// fold commits the per-machine results to the aggregate strictly in
+// machine-ID order — the single place the fleet's floating-point
+// accumulation order is defined — and sweeps the arrival/retirement
+// intervals for the concurrency peak.
+func (f *Fleet) fold(results []sim.AppResult) *Result {
+	out := &Result{
+		Policy:    f.policyName,
+		Machines:  len(results),
+		DeviceUse: make([]DeviceUsage, len(f.devices)),
+	}
+	for i := range out.DeviceUse {
+		out.DeviceUse[i].Device = f.devices[i].Name
+	}
+	type edge struct {
+		at    trace.Time
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(results))
+	for id := range results {
+		r := &results[id]
+		spec := f.Spec(id)
+		out.Executions += int64(r.Executions)
+		out.TotalIOs += int64(r.TotalIOs)
+		out.DiskAccesses += int64(r.DiskAccesses)
+		out.Local.Add(r.Local)
+		out.Global.Add(r.Global)
+		out.Energy.Add(r.Energy)
+		out.Cycles += int64(r.Cycles)
+		out.Wakeups += int64(r.Wakeups)
+		out.WaitTime += r.WaitTime
+		out.MachineTime += r.SimTime
+		end := spec.Arrival + r.SimTime
+		if end > out.SimTime {
+			out.SimTime = end
+		}
+		out.WaitHist[waitBucket(r.WaitTime)]++
+		du := &out.DeviceUse[spec.Device]
+		du.Machines++
+		du.EnergyJ += r.Energy.Total()
+		edges = append(edges, edge{at: spec.Arrival, delta: 1}, edge{at: end, delta: -1})
+		if f.cfg.Observe != nil {
+			f.cfg.Observe(id, r)
+		}
+	}
+	// Arrivals sort before retirements at the same instant, so a session
+	// ending exactly as another starts counts both as concurrent.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	cur := 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > out.PeakConcurrent {
+			out.PeakConcurrent = cur
+		}
+	}
+	return out
+}
+
+// Render formats the aggregate report. The output is byte-identical for a
+// given Config at any worker count.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d machines under %s\n", r.Machines, r.Policy)
+	fmt.Fprintf(&b, "  sessions:  %d executions, %.1f machine-hours, horizon %.2f h, peak concurrency %d\n",
+		r.Executions, r.MachineTime.Seconds()/3600, r.SimTime.Seconds()/3600, r.PeakConcurrent)
+	fmt.Fprintf(&b, "  I/O:       %d events, %d disk accesses after cache\n", r.TotalIOs, r.DiskAccesses)
+	fmt.Fprintf(&b, "  energy:    %.1f J (busy %.1f, idle-short %.1f, idle-long %.1f, power-cycle %.1f)\n",
+		r.Energy.Total(), r.Energy.Busy, r.Energy.IdleShort, r.Energy.IdleLong, r.Energy.PowerCycle)
+	fmt.Fprintf(&b, "  shutdowns: %d issued (%d hit, %d miss), %d long periods, %d unexploited\n",
+		r.Global.Shutdowns(), r.Global.Hits(), r.Global.Misses(), r.Global.LongPeriods, r.Global.NotPredicted)
+	fmt.Fprintf(&b, "  latency:   %d wakeups, %.1f s total wait\n", r.Wakeups, r.WaitTime.Seconds())
+	fmt.Fprintf(&b, "  wait/machine:")
+	for i, label := range WaitHistLabels {
+		fmt.Fprintf(&b, " %s:%d", label, r.WaitHist[i])
+	}
+	b.WriteString("\n")
+	for _, du := range r.DeviceUse {
+		fmt.Fprintf(&b, "  device %-32s %6d machines %14.1f J\n", du.Device, du.Machines, du.EnergyJ)
+	}
+	return b.String()
+}

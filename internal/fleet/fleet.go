@@ -1,0 +1,257 @@
+// Package fleet simulates a fleet of concurrent user machines on a shared
+// virtual clock.
+//
+// The single-machine simulator (internal/sim) answers "what does a policy
+// save on one machine's disk over one session". The fleet engine answers
+// the production-scale question: what do PCAP/TP/LT save across
+// thousands-to-millions of machines with heterogeneous disks, per-machine
+// application mixes, and staggered session arrivals. It is built directly
+// on the stepable sim.Machine extracted from the run loop: every machine
+// is one Machine, the engine multiplexes their next-event times over a
+// min-heap, and aggregate accounting is coalesced per machine and
+// committed in machine-ID order so the report is byte-identical at any
+// worker count.
+//
+// Determinism contract: everything a machine does is a pure function of
+// (Config.Seed, machine ID) — its arrival time, its device, its workload
+// seed and its per-execution application picks all derive from one
+// splittable rng chain (see Spec). Worker count, shard assignment and heap
+// interleaving only change the order independent machines are advanced
+// in, never any machine's own event sequence, and the final fold walks
+// machine IDs in increasing order, fixing every floating-point
+// accumulation order.
+//
+// Memory contract: live state is O(active machines), not O(events) and
+// not O(total machines beyond one small summary each). A machine
+// materializes its runState (borrowed from the per-device runner's
+// sync.Pool) only between its arrival and its retirement; its trace
+// events stream through one pooled per-machine buffer, one execution at a
+// time.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/rng"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// AppShare weights one application in the fleet's workload mix.
+type AppShare struct {
+	// Name is a registered workload application ("mozilla", "xemacs", …).
+	Name string
+	// Weight is the share's relative probability mass (must be positive).
+	Weight float64
+}
+
+// DeviceShare weights one device profile in the fleet's hardware mix.
+type DeviceShare struct {
+	Device disk.Params
+	Weight float64
+}
+
+// Config parameterizes a fleet simulation.
+type Config struct {
+	// Machines is the number of simulated user machines.
+	Machines int
+	// Seed is the fleet's master seed; every machine derives its own
+	// randomness from (Seed, machine ID).
+	Seed uint64
+	// Session is each machine's target virtual session length: a machine
+	// keeps starting executions until its session clock reaches Session,
+	// always completing at least one. Zero defaults to 30 virtual
+	// minutes (unless Executions is set).
+	Session trace.Time
+	// Executions, if positive, gives every machine exactly that many
+	// executions instead of a time-bounded session.
+	Executions int
+	// Stagger is the arrival window: machine session arrivals are uniform
+	// in [0, Stagger). It defaults to Session — sessions ramp up over one
+	// session length — and only shapes how many machines are concurrently
+	// active (and therefore peak memory), never any machine's results.
+	Stagger trace.Time
+	// Mix is the application mix; each machine draws an app per execution
+	// from these weights. Empty defaults to the paper's six applications,
+	// equally weighted.
+	Mix []AppShare
+	// Devices is the hardware mix; each machine draws its disk once from
+	// these weights. Empty defaults to the full disk.Catalog, equally
+	// weighted.
+	Devices []DeviceShare
+	// Base is the simulator configuration shared by every machine; the
+	// Disk field is replaced per machine by its drawn device. The zero
+	// value defaults to sim.DefaultConfig.
+	Base sim.Config
+	// Policy builds the shutdown policy for a device. It is invoked once
+	// per distinct device; predictors typically derive their thresholds
+	// (breakeven, wait window) from the device, which is why the policy
+	// is a function of it. Every returned policy must carry the same
+	// Name.
+	Policy func(dev disk.Params) (sim.Policy, error)
+	// Workers is the worker count; machines are sharded across workers in
+	// contiguous ID ranges. Zero defaults to GOMAXPROCS. The rendered
+	// report is byte-identical at any worker count.
+	Workers int
+	// Observe, if non-nil, receives every machine's individual result
+	// during the final commit, in increasing machine-ID order on the
+	// calling goroutine. The pointed-to result is owned by the engine;
+	// copy it to retain it.
+	Observe func(id int, res *sim.AppResult)
+}
+
+// Spec is one machine's derived identity: everything that makes machine
+// id's session different from machine id+1's.
+type Spec struct {
+	// Arrival is the global virtual time the machine's session starts.
+	Arrival trace.Time
+	// Device indexes the fleet's device list.
+	Device int
+	// WorkloadSeed seeds the machine's workload generators.
+	WorkloadSeed uint64
+}
+
+// fleetLabel separates the fleet's rng chain from the workload chains.
+const fleetLabel = 0xF1EE7
+
+// Fleet is a validated, ready-to-run fleet simulation.
+type Fleet struct {
+	cfg        Config
+	apps       []*workload.App
+	appWeights []float64
+	devices    []disk.Params
+	devWeights []float64
+	runners    []*sim.Runner
+	policies   []sim.Policy
+	policyName string
+}
+
+// New validates cfg, applies defaults, and builds the per-device runners
+// and policies.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 machine, got %d", cfg.Machines)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("fleet: Config.Policy is required")
+	}
+	if cfg.Executions < 0 {
+		return nil, fmt.Errorf("fleet: negative Executions %d", cfg.Executions)
+	}
+	if cfg.Session < 0 || cfg.Stagger < 0 {
+		return nil, fmt.Errorf("fleet: negative Session or Stagger")
+	}
+	if cfg.Session == 0 && cfg.Executions == 0 {
+		cfg.Session = 1800 * trace.Second
+	}
+	if cfg.Stagger == 0 {
+		cfg.Stagger = cfg.Session
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Mix) == 0 {
+		for _, a := range workload.Apps() {
+			cfg.Mix = append(cfg.Mix, AppShare{Name: a.Name, Weight: 1})
+		}
+	}
+	if len(cfg.Devices) == 0 {
+		for _, d := range disk.Catalog() {
+			cfg.Devices = append(cfg.Devices, DeviceShare{Device: d, Weight: 1})
+		}
+	}
+	if cfg.Base == (sim.Config{}) {
+		cfg.Base = sim.DefaultConfig()
+	}
+
+	f := &Fleet{cfg: cfg}
+	for _, share := range cfg.Mix {
+		app, ok := workload.ByName(share.Name)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown application %q in mix", share.Name)
+		}
+		if share.Weight <= 0 {
+			return nil, fmt.Errorf("fleet: non-positive weight %g for application %q", share.Weight, share.Name)
+		}
+		f.apps = append(f.apps, app)
+		f.appWeights = append(f.appWeights, share.Weight)
+	}
+	for _, share := range cfg.Devices {
+		if share.Weight <= 0 {
+			return nil, fmt.Errorf("fleet: non-positive weight %g for device %q", share.Weight, share.Device.Name)
+		}
+		rc := cfg.Base
+		rc.Disk = share.Device
+		runner, err := sim.NewRunner(rc)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %q: %w", share.Device.Name, err)
+		}
+		pol, err := cfg.Policy(share.Device)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: policy for device %q: %w", share.Device.Name, err)
+		}
+		if err := pol.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: policy for device %q: %w", share.Device.Name, err)
+		}
+		if f.policyName == "" {
+			f.policyName = pol.Name
+		} else if pol.Name != f.policyName {
+			return nil, fmt.Errorf("fleet: policy name %q for device %q differs from %q — one fleet evaluates one policy",
+				pol.Name, share.Device.Name, f.policyName)
+		}
+		f.devices = append(f.devices, share.Device)
+		f.devWeights = append(f.devWeights, share.Weight)
+		f.runners = append(f.runners, runner)
+		f.policies = append(f.policies, pol)
+	}
+	return f, nil
+}
+
+// Config returns the fleet's configuration after defaulting.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Spec derives machine id's identity. It is a pure function of
+// (Config.Seed, id): the machine's rng chain is
+// rng.New(Seed).Split(fleetLabel).Split(id+1), and the draws are, in
+// order, the arrival offset, the device pick, and the workload seed; the
+// per-execution app-pick stream is an independent split of the same chain
+// (see newMixSource).
+func (f *Fleet) Spec(id int) Spec {
+	return f.specFrom(f.machineRNG(id))
+}
+
+// specFrom consumes the Spec draws from a machine's root rng chain, in
+// the fixed order the determinism contract pins: arrival offset, device
+// pick, workload seed. newMixSource replays these before splitting off
+// the app-pick stream, so Spec and the source agree on the chain state.
+func (f *Fleet) specFrom(r *rng.Source) Spec {
+	var arrival trace.Time
+	if f.cfg.Stagger > 0 {
+		arrival = trace.FromSeconds(r.Range(0, f.cfg.Stagger.Seconds()))
+	}
+	dev := r.Pick(f.devWeights)
+	seed := r.Uint64()
+	return Spec{Arrival: arrival, Device: dev, WorkloadSeed: seed}
+}
+
+// machineRNG returns machine id's root rng.
+func (f *Fleet) machineRNG(id int) *rng.Source {
+	return rng.New(f.cfg.Seed).Split(fleetLabel).Split(uint64(id) + 1)
+}
+
+// appPickLabel splits the per-execution app-pick stream off the machine
+// rng chain, after the Spec draws.
+const appPickLabel = 0xA44
+
+// Device returns the fleet's device list (after defaulting).
+func (f *Fleet) Device(i int) disk.Params { return f.devices[i] }
+
+// StaticPolicy adapts a fixed policy to Config.Policy for policies whose
+// predictors do not depend on the device (Base, TP with an absolute
+// timeout, the oracle).
+func StaticPolicy(pol sim.Policy) func(disk.Params) (sim.Policy, error) {
+	return func(disk.Params) (sim.Policy, error) { return pol, nil }
+}

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"pcapsim/internal/disk"
+	"pcapsim/internal/predictor"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+)
+
+// tpPolicy is a device-independent 10 s timeout policy — enough machinery
+// to drive the engine without importing the experiments suite.
+func tpPolicy() func(disk.Params) (sim.Policy, error) {
+	return StaticPolicy(sim.Policy{
+		Name:       "TP",
+		NewFactory: func() predictor.Factory { return predictor.NewTimeout(10 * trace.Second) },
+	})
+}
+
+func testConfig(machines int) Config {
+	return Config{
+		Machines: machines,
+		Seed:     7,
+		Session:  300 * trace.Second,
+		Policy:   tpPolicy(),
+		Workers:  1,
+	}
+}
+
+// TestHeapOrdering drains a hand-loaded heap and checks (time, id) order,
+// including the ID tie-break.
+func TestHeapOrdering(t *testing.T) {
+	var h eventHeap
+	times := []trace.Time{40, 7, 7, 99, 0, 23, 7, 40, 1}
+	for i, tm := range times {
+		h.push(heapItem{t: tm, id: i})
+	}
+	var last heapItem
+	for i := 0; len(h) > 0; i++ {
+		it := h.pop()
+		if i > 0 && (it.t < last.t || (it.t == last.t && it.id < last.id)) {
+			t.Fatalf("pop %d: (%v, %d) after (%v, %d)", i, it.t, it.id, last.t, last.id)
+		}
+		last = it
+	}
+}
+
+// TestSpecDeterminism checks machine identity derivation is a pure
+// function of (seed, id): two fleets with the same config agree, and the
+// mix source replays byte-identically after Reset.
+func TestSpecDeterminism(t *testing.T) {
+	f1, err := New(testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 16; id++ {
+		if s1, s2 := f1.Spec(id), f2.Spec(id); s1 != s2 {
+			t.Fatalf("machine %d: spec %+v vs %+v", id, s1, s2)
+		}
+	}
+	if s0, s1 := f1.Spec(0), f1.Spec(1); s0 == s1 {
+		t.Fatalf("machines 0 and 1 drew identical specs %+v", s0)
+	}
+
+	src := f1.newMixSource(3)
+	var first []trace.Event
+	app1, _, ok := src.NextExec()
+	if !ok {
+		t.Fatal("empty session")
+	}
+	first = append(first, src.ExecEvents()...)
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	app2, _, ok := src.NextExec()
+	if !ok {
+		t.Fatal("empty session after Reset")
+	}
+	if app1 != app2 {
+		t.Fatalf("first app %q, after Reset %q", app1, app2)
+	}
+	replay := src.ExecEvents()
+	if len(replay) != len(first) {
+		t.Fatalf("replay has %d events, first pass %d", len(replay), len(first))
+	}
+	for i := range replay {
+		if replay[i] != first[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, replay[i], first[i])
+		}
+	}
+}
+
+// TestShardInsertionOrder runs the same shard with ascending, reversed and
+// interleaved machine-ID insertion orders: the schedule is rebuilt from
+// arrival times, so per-machine results must not depend on the order ids
+// were handed to the shard.
+func TestShardInsertionOrder(t *testing.T) {
+	const n = 24
+	f, err := New(testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ids []int) []sim.AppResult {
+		results := make([]sim.AppResult, n)
+		if err := f.runShard(ids, results); err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	asc := make([]int, n)
+	rev := make([]int, n)
+	mix := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		asc[i] = i
+		rev[i] = n - 1 - i
+	}
+	for i := 0; i < n; i += 2 {
+		mix = append(mix, i)
+	}
+	for i := 1; i < n; i += 2 {
+		mix = append(mix, i)
+	}
+	want := run(asc)
+	for name, ids := range map[string][]int{"reversed": rev, "interleaved": mix} {
+		got := run(ids)
+		for id := range want {
+			if fmt.Sprintf("%+v", got[id]) != fmt.Sprintf("%+v", want[id]) {
+				t.Fatalf("%s insertion: machine %d result differs:\n got %+v\nwant %+v",
+					name, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestSessionBounds checks both session modes: a time-bounded session
+// simulates at least Session virtual time, and an execution-bounded one
+// runs exactly the requested count.
+func TestSessionBounds(t *testing.T) {
+	cfg := testConfig(8)
+	perMachine := make([]sim.AppResult, 8)
+	cfg.Observe = func(id int, res *sim.AppResult) { perMachine[id] = *res }
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, res := range perMachine {
+		if res.Executions < 1 {
+			t.Errorf("machine %d ran %d executions, want >= 1", id, res.Executions)
+		}
+		if res.SimTime < cfg.Session {
+			t.Errorf("machine %d simulated %v, want >= %v", id, res.SimTime, cfg.Session)
+		}
+	}
+
+	cfg = testConfig(8)
+	cfg.Session = 0
+	cfg.Executions = 3
+	cfg.Stagger = 60 * trace.Second
+	cfg.Observe = func(id int, res *sim.AppResult) { perMachine[id] = *res }
+	f, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, res := range perMachine {
+		if res.Executions != 3 {
+			t.Errorf("machine %d ran %d executions, want exactly 3", id, res.Executions)
+		}
+	}
+}
+
+// TestNewValidation exercises the config error paths.
+func TestNewValidation(t *testing.T) {
+	cases := map[string]func(*Config){
+		"no machines":     func(c *Config) { c.Machines = 0 },
+		"nil policy":      func(c *Config) { c.Policy = nil },
+		"unknown app":     func(c *Config) { c.Mix = []AppShare{{Name: "solitaire", Weight: 1}} },
+		"bad app weight":  func(c *Config) { c.Mix = []AppShare{{Name: "mozilla", Weight: -1}} },
+		"bad dev weight":  func(c *Config) { c.Devices = []DeviceShare{{Device: disk.FujitsuMHF2043AT(), Weight: 0}} },
+		"negative execs":  func(c *Config) { c.Executions = -1 },
+		"negative window": func(c *Config) { c.Stagger = -trace.Second },
+		"mixed policy names": func(c *Config) {
+			n := 0
+			c.Policy = func(disk.Params) (sim.Policy, error) {
+				n++
+				return sim.Policy{
+					Name:       fmt.Sprintf("TP%d", n),
+					NewFactory: func() predictor.Factory { return predictor.NewTimeout(10 * trace.Second) },
+				}, nil
+			}
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(4)
+			mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("New accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestPeakConcurrency checks the interval sweep: with no stagger every
+// session overlaps at time zero, and with a stagger far longer than the
+// sessions the peak collapses below the fleet size.
+func TestPeakConcurrency(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.Executions = 1
+	cfg.Session = 0
+	cfg.Stagger = 0 // all sessions arrive at t=0
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakConcurrent != 12 {
+		t.Errorf("unstaggered peak = %d, want 12", res.PeakConcurrent)
+	}
+
+	cfg = testConfig(12)
+	cfg.Executions = 1
+	cfg.Session = 0
+	cfg.Stagger = 40 * 3600 * trace.Second // ~3.3 h between arrivals on average
+	f, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakConcurrent >= 12 {
+		t.Errorf("widely staggered peak = %d, want < 12", res.PeakConcurrent)
+	}
+	if res.PeakConcurrent < 1 {
+		t.Errorf("peak = %d, want >= 1", res.PeakConcurrent)
+	}
+}

@@ -19,6 +19,7 @@ var resultAffectingPackages = map[string]bool{
 	"internal/prefetch":    true,
 	"internal/ltree":       true,
 	"internal/hypothesis":  true,
+	"internal/fleet":       true,
 }
 
 // resultAffecting reports whether the module-relative package path is in

@@ -10,6 +10,7 @@ func TestResultAffectingScope(t *testing.T) {
 	for _, p := range []string{
 		"internal/sim", "internal/trace", "internal/experiments",
 		"internal/hypothesis", "internal/workload", "internal/predictor",
+		"internal/fleet",
 	} {
 		if !resultAffecting(p) {
 			t.Errorf("%s not in the result-affecting scope", p)

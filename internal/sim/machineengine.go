@@ -26,15 +26,26 @@ func (r *Runner) MachineEnergy(traces []*trace.Trace, pol Policy) (disk.EnergyBr
 		at   trace.Time
 	}
 	var schedule []shutdownCmd
-	// Capture the shutdown schedule with a scratch runner sharing the
-	// configuration.
-	scratch := &Runner{cfg: r.cfg}
-	scratch.PeriodHook = func(p PeriodRecord) {
+	// Capture the shutdown schedule by driving the extracted machine
+	// layer directly with a capture hook — the same prepare/step path as
+	// RunApp, without mutating r (whose PeriodHook may be owned by a
+	// concurrent caller) and without hand-assembling a scratch Runner.
+	m, err := r.newMachine(trace.NewSliceSource(traces...), pol, nil)
+	if err != nil {
+		return disk.EnergyBreakdown{}, err
+	}
+	m.hook = func(p PeriodRecord) {
 		if p.Shutdown {
 			schedule = append(schedule, shutdownCmd{exec: p.Execution, at: p.At})
 		}
 	}
-	if _, err := scratch.RunApp(traces, pol); err != nil {
+	for {
+		if _, ok := m.nextTime(); !ok {
+			break
+		}
+		m.step()
+	}
+	if _, err := m.finish(); err != nil {
 		return disk.EnergyBreakdown{}, err
 	}
 

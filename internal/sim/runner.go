@@ -200,74 +200,23 @@ func (r *Runner) RunSource(src trace.Source, pol Policy) (*AppResult, error) {
 	return r.runSource(src, pol, nil)
 }
 
-// runSource is the shared body of RunSource and RunSourceTraced. tr is nil
-// for plain runs; a traced run threads it into every execution so decision
-// records and counterfactual flips share the single simulation loop.
+// runSource is the shared body of RunSource and RunSourceTraced: a thin
+// driver over the stepable machine (machine.go) that advances it event by
+// event until the source is exhausted. tr is nil for plain runs; a traced
+// run threads it into every step so decision records and counterfactual
+// flips share the single simulation loop.
 func (r *Runner) runSource(src trace.Source, pol Policy, tr *tracedRun) (*AppResult, error) {
-	if err := pol.Validate(); err != nil {
+	m, err := r.newMachine(src, pol, tr)
+	if err != nil {
 		return nil, err
 	}
-	res := &AppResult{
-		Policy:       pol.Name,
-		StateEntries: -1,
-	}
-	newFactory := pol.NewFactory
-	if newFactory == nil {
-		// GlobalOracle without an explicit factory: use the local oracle
-		// so per-process (local) statistics stay meaningful.
-		breakeven := r.cfg.Disk.Breakeven
-		newFactory = func() predictor.Factory { return predictor.NewOracle(breakeven) }
-	}
-	var f predictor.Factory
-	rs := r.getState()
-	defer r.putState(rs)
-	// Sources that expose their current execution as a slice (ExecSlicer)
-	// lend that slice out only until their next NextExec; it must not be
-	// adopted as the reusable drain buffer, or a pooled runState could
-	// later scribble over a buffer the source has recycled elsewhere.
-	_, borrows := src.(trace.ExecSlicer)
-	for i := 0; ; i++ {
-		app, exec, ok := src.NextExec()
-		if !ok {
+	for {
+		if _, ok := m.nextTime(); !ok {
 			break
 		}
-		if i == 0 {
-			res.App = app
-		}
-		switch {
-		case f == nil || !pol.Reuse:
-			f = newFactory()
-		case i > 0 && pol.RoundTrip != nil:
-			nf, err := pol.RoundTrip(f)
-			if err != nil {
-				return nil, fmt.Errorf("sim: round-tripping %s after execution %d: %w", pol.Name, i-1, err)
-			}
-			f = nf
-		}
-		events := trace.Drain(src, rs.buf)
-		if !borrows {
-			rs.buf = events
-		}
-		rs.view.App, rs.view.Execution, rs.view.Events = app, exec, events
-		ex, err := rs.prepare(&rs.view, r.cfg.Cache)
-		if err != nil {
-			return nil, err
-		}
-		if err := r.runExecution(ex, rs, f, pol, res, tr); err != nil {
-			return nil, fmt.Errorf("sim: %s execution %d: %w", app, exec, err)
-		}
-		res.Executions++
+		m.step()
 	}
-	if err := src.Err(); err != nil {
-		return nil, fmt.Errorf("sim: reading trace source: %w", err)
-	}
-	if res.Executions == 0 {
-		return nil, fmt.Errorf("sim: no traces")
-	}
-	if sf, ok := f.(SizedFactory); ok {
-		res.StateEntries = sf.StateSize()
-	}
-	return res, nil
+	return m.finish()
 }
 
 // decisionState is a process's standing decision: the absolute time at
@@ -275,154 +224,6 @@ func (r *Runner) runSource(src trace.Source, pol Policy, tr *tracedRun) (*AppRes
 type decisionState struct {
 	ready  trace.Time
 	source predictor.Source
-}
-
-// runExecution replays one prepared execution under factory f, using rs's
-// recycled working set (service schedule, per-pid predictor and decision
-// maps). tr, when non-nil, records and counterfactually flips decisions.
-func (r *Runner) runExecution(ex *execution, rs *runState, f predictor.Factory, pol Policy, res *AppResult, tr *tracedRun) error {
-	d := &r.cfg.Disk
-	res.TotalIOs += ex.totalIOs
-	res.DiskAccesses += len(ex.accesses)
-	res.SimTime += ex.end
-	res.Cache.Reads += ex.cacheStats.Reads
-	res.Cache.Writes += ex.cacheStats.Writes
-	res.Cache.ReadHits += ex.cacheStats.ReadHits
-	res.Cache.DiskReads += ex.cacheStats.DiskReads
-	res.Cache.FlushWrites += ex.cacheStats.FlushWrites
-	res.Cache.EvictionWrites += ex.cacheStats.EvictionWrites
-
-	if len(ex.accesses) == 0 {
-		// A silent execution: the disk just idles.
-		r.accountIdle(res, 0, ex.end)
-		return nil
-	}
-
-	// Busy-time model: accesses queue FIFO; service i starts at
-	// max(arrival, previous completion).
-	serviceEnd := rs.serviceEnd[:0]
-	for range ex.accesses {
-		serviceEnd = append(serviceEnd, 0)
-	}
-	rs.serviceEnd = serviceEnd
-	var prevEnd trace.Time
-	for i, a := range ex.accesses {
-		start := a.Time
-		if prevEnd > start {
-			start = prevEnd
-		}
-		prevEnd = start + r.serviceTime(a)
-		serviceEnd[i] = prevEnd
-		res.Energy.Busy += r.serviceTime(a).Seconds() * d.BusyPower
-	}
-
-	// Leading idle before the first access: the disk spins unmanaged.
-	r.accountIdle(res, 0, ex.accesses[0].Time)
-
-	if rs.preds == nil {
-		rs.preds = make(map[trace.PID]predictor.Process)
-		rs.dec = make(map[trace.PID]decisionState)
-	}
-	preds, dec := rs.preds, rs.dec
-	clear(preds)
-	clear(dec)
-	decided := rs.decided[:0] // sorted pids with decisions, for determinism
-
-	for i, a := range ex.accesses {
-		pred, ok := preds[a.Pid]
-		if !ok {
-			pred = f.NewProcess(a.Pid)
-			preds[a.Pid] = pred
-		}
-		nextLocal := ex.nextLocal[i]
-		if fa, isFA := pred.(predictor.FutureAware); isFA {
-			if nextLocal >= 0 {
-				fa.SetNextGap(ex.accesses[nextLocal].Time-a.Time, true)
-			} else {
-				fa.SetNextGap(0, false)
-			}
-		}
-		decision := pred.OnAccess(predictor.Access{
-			Time:   a.Time,
-			PC:     a.PC,
-			FD:     a.FD,
-			Access: a.Access,
-			Block:  a.Block,
-		})
-
-		// Local (per-process) classification of the period that follows.
-		// The kernel flush daemon is not one of the application's
-		// processes, so it stays out of the per-process statistics (it
-		// still feeds the global combiner below).
-		if nextLocal >= 0 && a.Pid != fscache.KernelFlushPID {
-			gap := ex.accesses[nextLocal].Time - a.Time
-			classify(&res.Local, gap, decision, d.Breakeven)
-		}
-
-		// Update the standing decision for the global combiner.
-		st := decisionState{ready: infTime, source: decision.Source}
-		if decision.Shutdown {
-			st.ready = a.Time + decision.Delay
-		}
-		if _, had := dec[a.Pid]; !had {
-			// Insert a.Pid at its sorted position (equivalent to the
-			// append-and-sort it replaces, without sort.Slice's allocation).
-			j := len(decided)
-			decided = append(decided, 0)
-			for j > 0 && decided[j-1] > a.Pid {
-				decided[j] = decided[j-1]
-				j--
-			}
-			decided[j] = a.Pid
-			rs.decided = decided
-		}
-		dec[a.Pid] = st
-
-		// Global period from this access to the next one in the merged
-		// stream (or the tail of the execution).
-		T0 := a.Time
-		T1 := ex.end
-		terminal := i+1 >= len(ex.accesses)
-		if !terminal {
-			T1 = ex.accesses[i+1].Time
-		}
-		if T1 < T0 {
-			T1 = T0
-		}
-		gap := T1 - T0
-		long := gap >= d.Breakeven
-
-		var s trace.Time
-		var src predictor.Source
-		var found bool
-		var decider trace.PID
-		if pol.GlobalOracle {
-			if long {
-				s, src, found = T0, predictor.SourcePrimary, true
-				decider = a.Pid
-			}
-		} else {
-			s, src, found, decider = r.combine(ex, dec, decided, T0, T1)
-		}
-		if tr != nil {
-			s, src, found = tr.decide(r, ex, a, serviceEnd[i], T0, T1, s, src, found, terminal, long)
-		}
-		if r.PeriodHook != nil && !terminal {
-			r.PeriodHook(PeriodRecord{
-				Execution: ex.index,
-				Start:     T0, End: T1,
-				LastPid: a.Pid, LastPC: a.PC,
-				Shutdown: found, At: s, Source: src, DeciderPid: decider,
-			})
-		}
-
-		if !terminal {
-			globalDecision := predictor.Decision{Shutdown: found, Delay: s - T0, Source: src}
-			classify(&res.Global, gap, globalDecision, d.Breakeven)
-		}
-		r.accountPeriod(res, serviceEnd[i], T1, s, found, long, src)
-	}
-	return nil
 }
 
 // combine implements the Global Shutdown Predictor: the disk shuts down at

@@ -117,6 +117,17 @@ func (a *App) generateEvents(seed uint64, exec int, buf []trace.Event) []trace.E
 	return b.events
 }
 
+// AppendEvents generates execution exec's sorted event stream into buf
+// (reusing its capacity) and returns the filled slice — the exported
+// buffer-recycling seam for consumers that compose their own streams, such
+// as the fleet engine's per-machine app-mix sources. The generators are
+// pure functions of (seed, exec), and exec may exceed the app's recorded
+// Executions count: the models extrapolate, so an arbitrarily long session
+// of further executions is well-defined and deterministic.
+func (a *App) AppendEvents(buf []trace.Event, seed uint64, exec int) []trace.Event {
+	return a.generateEvents(seed, exec, buf)
+}
+
 // Traces generates all of the app's executions (Table 1 counts).
 func (a *App) Traces(seed uint64) []*trace.Trace {
 	out := make([]*trace.Trace, a.Executions)
