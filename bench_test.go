@@ -568,6 +568,101 @@ func BenchmarkDecodeV2(b *testing.B) {
 	benchmarkDecode(b, trace.WriteColumnar, func(r *bytes.Reader) trace.Source { return trace.NewBlockSource(r) })
 }
 
+// BenchmarkDecodeV2Parallel is the parallel block pipeline at one worker
+// per CPU — the same stream as BenchmarkDecodeV2, so the events/s ratio
+// between the two is the pipeline's scaling factor (≈1 minus the
+// coordination overhead on a single-CPU host).
+func BenchmarkDecodeV2Parallel(b *testing.B) {
+	benchmarkDecode(b, trace.WriteColumnar, func(r *bytes.Reader) trace.Source { return trace.NewParallelSource(r, 0) })
+}
+
+// countingReaderAt wraps a bytes.Reader and counts bytes read, to report
+// how much of the file pushdown actually touches.
+type countingReaderAt struct {
+	r *bytes.Reader
+	n int64
+}
+
+func (c *countingReaderAt) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReaderAt) Seek(off int64, whence int) (int64, error) {
+	return c.r.Seek(off, whence)
+}
+
+// BenchmarkDecodeV2Pushdown decodes an indexed stream under a mid-file
+// time window: the index skips non-matching blocks without reading them.
+// events/s counts the events actually delivered; read-pct is the
+// fraction of the file read from the underlying reader.
+func BenchmarkDecodeV2Pushdown(b *testing.B) {
+	app, _ := workload.ByName("xemacs")
+	traces := app.Traces(experiments.DefaultSeed)
+	var buf bytes.Buffer
+	// 256-event blocks give the index skip granularity; the default block
+	// size would put most of these executions in a single block each.
+	ib := trace.NewIndexBuilder()
+	for _, tr := range traces {
+		enc, err := trace.NewBlockEncoder(&buf, tr.App, tr.Execution, tr.Len())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.SetBlockEvents(256); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.SetIndex(ib); err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range tr.Events {
+			if err := enc.Write(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ib.WriteFooter(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	var maxTime trace.Time
+	for _, tr := range traces {
+		if last := tr.Events[len(tr.Events)-1].Time; last > maxTime {
+			maxTime = last
+		}
+	}
+	pred := trace.Predicate{From: maxTime / 4, To: maxTime / 2}
+	drained := make([]trace.Event, 0, 4096)
+	var events, read int64
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr := &countingReaderAt{r: bytes.NewReader(data)}
+		src := trace.NewBlockSource(cr)
+		if !src.SetPredicate(pred) {
+			b.Fatal("pushdown did not arm")
+		}
+		fs := trace.FilterEvents(src, pred)
+		for {
+			if _, _, ok := fs.NextExec(); !ok {
+				break
+			}
+			drained = trace.Drain(fs, drained)
+			events += int64(len(drained))
+		}
+		if err := fs.Err(); err != nil {
+			b.Fatal(err)
+		}
+		read += cr.n
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(100*float64(read)/(float64(b.N)*float64(len(data))), "read-pct")
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	app, _ := workload.ByName("mozilla")
 	b.ResetTimer()
@@ -826,6 +921,36 @@ func benchFleet(b *testing.B, n int) {
 
 func BenchmarkFleet1k(b *testing.B)  { benchFleet(b, 1000) }
 func BenchmarkFleet10k(b *testing.B) { benchFleet(b, 10000) }
+
+// BenchmarkFleetReplay1k is BenchmarkFleet1k on recorded traces instead
+// of the synthetic generator: every session replays the six apps' first
+// recorded executions (round-robin with timestamp warp), the path
+// `pcapsim -fleet N -replay file` exercises.
+func BenchmarkFleetReplay1k(b *testing.B) {
+	var recorded []*trace.Trace
+	for _, app := range workload.Apps() {
+		recorded = append(recorded, app.Trace(experiments.DefaultSeed, 0))
+	}
+	cfg := fleetBenchConfig(b, 1000)
+	cfg.Replay = recorded
+	var machines int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machines != 1000 {
+			b.Fatalf("fleet ran %d machines, want 1000", res.Machines)
+		}
+		machines += int64(res.Machines)
+	}
+	b.ReportMetric(float64(machines)/b.Elapsed().Seconds(), "machines/s")
+}
 
 // benchFleetPeakHeap measures the peak live heap during a fleet run,
 // sampled by a GC-then-read goroutine — the number that demonstrates

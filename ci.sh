@@ -65,7 +65,7 @@ fi
 # filter is the allocation-sensitive hot path; BENCH_FILTER='.' sweeps
 # everything.
 bench_artifact="${BENCH_ARTIFACT:-bench.txt}"
-bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$|Fleet(1k|10k)\$}"
+bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$|DecodeV2(Parallel|Pushdown)\$|Fleet(1k|10k)\$|FleetReplay1k\$}"
 echo "== go test -bench (hot path) -benchmem (artifact: ${bench_artifact})"
 if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME:-1s}" . >"${bench_artifact}" 2>&1; then
 	grep '^Benchmark' "${bench_artifact}" || true
@@ -73,14 +73,14 @@ if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME
 	# every metric (ns/op, B/op, allocs/op, ios/s, events/s, ...). The
 	# JSON is committed per PR so perf history survives in-repo; schema
 	# in EXPERIMENTS.md.
-	bench_json="${BENCH_JSON:-BENCH_PR7.json}"
+	bench_json="${BENCH_JSON:-BENCH_PR8.json}"
 	bench_baseline="${BENCH_BASELINE:-}"
 	if [[ -z "${bench_baseline}" ]]; then
 		if [[ -f "${bench_json}" ]]; then
 			bench_baseline="$(mktemp)"
 			cp "${bench_json}" "${bench_baseline}"
 		else
-			bench_baseline="BENCH_PR6.json"
+			bench_baseline="BENCH_PR7.json"
 		fi
 	fi
 	if go run ./cmd/benchjson -o "${bench_json}" "${bench_artifact}"; then
@@ -88,7 +88,7 @@ if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME
 		if [[ "${BENCH_GATE:-on}" != "off" && -f "${bench_baseline}" ]]; then
 			echo "== benchjson -gate ${bench_baseline} (blocking)"
 			go run ./cmd/benchjson -gate "${bench_baseline}" \
-				-metrics "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s,BenchmarkFleet1k:machines/s" \
+				-metrics "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s,BenchmarkDecodeV2Parallel:events/s,BenchmarkFleet1k:machines/s" \
 				-threshold 0.10 "${bench_json}"
 		fi
 	else

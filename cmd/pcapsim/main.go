@@ -70,7 +70,12 @@ func main() {
 		parallelFlag = flag.Int("parallel", runtime.NumCPU(), "worker count for the experiment matrix (1 = serial)")
 		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
-		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments")
+		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments (with -fleet N: replay it as the fleet's workload)")
+		fromFlag     = flag.Duration("from", 0, "with -replay: keep only events at or after this trace time")
+		toFlag       = flag.Duration("to", 0, "with -replay: keep only events at or before this trace time (0 = unbounded)")
+		pidFlag      = flag.Int("pid", 0, "with -replay: keep only events of this process id")
+		pcFromFlag   = flag.String("pcfrom", "", "with -replay: keep only I/O events with program counter >= this value (hex with 0x)")
+		pcToFlag     = flag.String("pcto", "", "with -replay: keep only I/O events with program counter <= this value (hex with 0x)")
 		hypoFlag     = flag.String("experiment", "", "run an executable hypothesis from a JSON spec file")
 		fleetFlag    = flag.Int("fleet", 0, "simulate a fleet of N machines instead of running experiments")
 		mixFlag      = flag.String("mix", "", "fleet application mix as app:weight,app:weight (default: all apps, equal weights)")
@@ -143,6 +148,11 @@ func main() {
 		return
 	}
 
+	pred, err := parsePredicate(*fromFlag, *toFlag, *pidFlag, *pcFromFlag, *pcToFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *fleetFlag != 0 {
 		if *fleetFlag < 0 {
 			fatal(fmt.Errorf("fleet: machine count must be positive, got %d", *fleetFlag))
@@ -157,6 +167,21 @@ func main() {
 			Session:  trace.FromSeconds(durationFlag.Seconds()),
 			Mix:      mix,
 			Workers:  *parallelFlag,
+		}
+		if *replayFlag != "" {
+			// Fleet trace replay: the file's executions (decoded in
+			// parallel, predicate pushed down to the block index) become
+			// the fleet's workload instead of the synthetic generators.
+			fs, err := trace.OpenTraceFileOpts(*replayFlag, trace.OpenOptions{Workers: *parallelFlag, Pred: pred})
+			if err != nil {
+				fatal(err)
+			}
+			traces, err := trace.Collect(fs)
+			_ = fs.Close() // read-only handle; the decode error below is authoritative
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Replay = traces
 		}
 		start := time.Now()
 		out, err := experiments.FleetComparison(cfg, splitList(*policiesFlag))
@@ -178,7 +203,8 @@ func main() {
 
 	if *replayFlag != "" {
 		start := time.Now()
-		out, err := suite.ReplayFile(*replayFlag, splitList(*policiesFlag))
+		out, err := suite.ReplayFileOpts(*replayFlag, splitList(*policiesFlag),
+			experiments.ReplayOptions{Workers: *parallelFlag, Pred: pred})
 		if err != nil {
 			fatal(err)
 		}
@@ -264,6 +290,34 @@ func parseMix(s string) ([]fleet.AppShare, error) {
 		mix = append(mix, share)
 	}
 	return mix, nil
+}
+
+// parsePredicate assembles the -from/-to/-pid/-pcfrom/-pcto filter.
+func parsePredicate(from, to time.Duration, pid int, pcFrom, pcTo string) (trace.Predicate, error) {
+	var p trace.Predicate
+	p.From = trace.FromSeconds(from.Seconds())
+	p.To = trace.FromSeconds(to.Seconds())
+	p.Pid = trace.PID(pid)
+	var err error
+	if p.PCFrom, err = parsePC(pcFrom, "-pcfrom"); err != nil {
+		return trace.Predicate{}, err
+	}
+	if p.PCTo, err = parsePC(pcTo, "-pcto"); err != nil {
+		return trace.Predicate{}, err
+	}
+	return p, nil
+}
+
+// parsePC parses a program-counter flag value (decimal or 0x-hex).
+func parsePC(s, flagName string) (trace.PC, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad program counter %q: %w", flagName, s, err)
+	}
+	return trace.PC(v), nil
 }
 
 func fatal(err error) {

@@ -5,6 +5,12 @@
 // recycled buffer and written through the streaming encoder, so peak
 // memory is one execution regardless of workload size.
 //
+// v2 files carry a seekable index footer by default (per-block offsets
+// and column statistics, enabling parallel decode with predicate
+// pushdown); -noindex omits it for strict byte-compatibility with
+// pre-footer consumers — though footer-bearing files remain readable by
+// them too.
+//
 // Usage:
 //
 //	tracegen -app mozilla -out traces/            # all executions, v1 binary
@@ -31,6 +37,7 @@ func main() {
 		seedFlag   = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
 		formatFlag = flag.String("format", "binary", "output format: binary, v2 or text")
 		outFlag    = flag.String("out", ".", "output directory")
+		noIndex    = flag.Bool("noindex", false, "omit the seekable index footer from v2 files")
 	)
 	flag.Parse()
 
@@ -75,7 +82,7 @@ func main() {
 				ext = "pct2"
 			}
 			path := filepath.Join(*outFlag, fmt.Sprintf("%s-%03d.%s", app, exec, ext))
-			if err := writeTrace(path, app, exec, events, *formatFlag); err != nil {
+			if err := writeTrace(path, app, exec, events, *formatFlag, !*noIndex); err != nil {
 				fatal(err)
 			}
 			view := trace.Trace{App: app, Execution: exec, Events: events}
@@ -85,7 +92,7 @@ func main() {
 	}
 }
 
-func writeTrace(path, app string, exec int, events []trace.Event, format string) (err error) {
+func writeTrace(path, app string, exec int, events []trace.Event, format string, index bool) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -108,6 +115,13 @@ func writeTrace(path, app string, exec int, events []trace.Event, format string)
 		if err != nil {
 			return err
 		}
+		var ib *trace.IndexBuilder
+		if index {
+			ib = trace.NewIndexBuilder()
+			if err := enc.SetIndex(ib); err != nil {
+				return err
+			}
+		}
 		for _, e := range events {
 			if err := enc.Write(e); err != nil {
 				return err
@@ -115,6 +129,11 @@ func writeTrace(path, app string, exec int, events []trace.Event, format string)
 		}
 		if err := enc.Close(); err != nil {
 			return err
+		}
+		if ib != nil {
+			if err := ib.WriteFooter(f); err != nil {
+				return err
+			}
 		}
 	default:
 		enc, err := trace.NewEncoder(f, app, exec, len(events))

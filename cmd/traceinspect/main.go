@@ -10,18 +10,29 @@
 // The input format (v1 binary, v2 columnar or text) is auto-detected
 // from the leading magic bytes. For v2 columnar files, -blocks prints a
 // per-block report: events per block, encoded bytes per event, and the
-// per-column compression ratio against the raw struct-of-arrays size.
+// per-column compression ratio against the raw struct-of-arrays size;
+// -index prints the seekable index footer (per-block offsets and column
+// statistics) after verifying its CRC and that every recorded offset
+// points at a real execution or block header.
+//
+// -from/-to/-pid restrict the inspection to matching events. On v2
+// files with an index footer the filter is pushed down to the block
+// index — non-matching blocks are skipped without being read — and
+// -workers N decodes the surviving blocks on a parallel pipeline.
 //
 // Usage:
 //
 //	traceinspect traces/mozilla-000.pctr
 //	traceinspect -head 25 -breakeven 5.43 traces/nedit-003.pctr
 //	traceinspect -blocks traces/mozilla-000.pct2
+//	traceinspect -index traces/mozilla-000.pct2
+//	traceinspect -from 100s -to 300s -pid 1 -workers 4 traces/mozilla-000.pct2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -34,6 +45,11 @@ func main() {
 		breakevenFlag = flag.Float64("breakeven", 5.43, "breakeven time in seconds for idle-period stats")
 		formatFlag    = flag.String("format", "auto", "input format: binary, v2, text or auto")
 		blocksFlag    = flag.Bool("blocks", false, "print per-block stats (v2 columnar files only)")
+		indexFlag     = flag.Bool("index", false, "print and verify the index footer (v2 columnar files only)")
+		fromFlag      = flag.Duration("from", 0, "keep only events at or after this trace time")
+		toFlag        = flag.Duration("to", 0, "keep only events at or before this trace time (0 = unbounded)")
+		pidFlag       = flag.Int("pid", 0, "keep only events of this process id")
+		workersFlag   = flag.Int("workers", 0, "decode v2 blocks with N parallel workers (0 = sequential, -1 = one per CPU)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,16 +60,28 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close() //pcaplint:ignore errcheck-lite file opened read-only; a close failure cannot lose data
+	if *indexFlag {
+		if err := inspectIndex(f); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *blocksFlag {
 		if err := inspectBlocks(f); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	src, err := open(f, *formatFlag)
+	pred := trace.Predicate{
+		From: trace.FromSeconds(fromFlag.Seconds()),
+		To:   trace.FromSeconds(toFlag.Seconds()),
+		Pid:  trace.PID(*pidFlag),
+	}
+	src, err := open(f, *formatFlag, *workersFlag, pred)
 	if err != nil {
 		fatal(err)
 	}
+	src = trace.FilterEvents(src, pred)
 
 	execs := 0
 	for {
@@ -166,13 +194,30 @@ func inspect(src trace.Source, app string, exec int, head int, breakeven float64
 }
 
 // open wraps the file in the right streaming decoder, sniffing the
-// leading magic bytes when the format is auto.
-func open(f *os.File, format string) (trace.Source, error) {
+// leading magic bytes when the format is auto. v2 files honor the
+// worker count and push the predicate down to the block index.
+func open(f *os.File, format string, workers int, pred trace.Predicate) (trace.Source, error) {
+	if format == "auto" {
+		sniffed, err := sniffV2(f)
+		if err != nil {
+			return nil, err
+		}
+		if sniffed {
+			format = "v2"
+		}
+	}
 	switch format {
 	case "binary":
 		return trace.NewDecoder(f), nil
 	case "v2":
-		return trace.NewBlockSource(f), nil
+		if workers != 0 {
+			ps := trace.NewParallelSource(f, workers)
+			ps.SetPredicate(pred)
+			return ps, nil
+		}
+		bs := trace.NewBlockSource(f)
+		bs.SetPredicate(pred)
+		return bs, nil
 	case "text":
 		return trace.NewTextDecoder(f), nil
 	case "auto":
@@ -180,6 +225,66 @@ func open(f *os.File, format string) (trace.Source, error) {
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// sniffV2 reports whether f starts with the v2 columnar magic, leaving
+// the file rewound.
+func sniffV2(f *os.File) (bool, error) {
+	var magic [4]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, err
+	}
+	return n == len(magic) && string(magic[:]) == "PCT2", nil
+}
+
+// inspectIndex prints the index footer after verifying it: ReadIndex
+// checks the CRC and the structural invariants, and every recorded
+// offset is checked to point at a real execution or block header.
+func inspectIndex(f *os.File) error {
+	idx, err := trace.ReadIndex(f)
+	if err != nil {
+		return err
+	}
+	if idx == nil {
+		return fmt.Errorf("%s: no index footer (sequential scan only); regenerate with tracegen -format v2", f.Name())
+	}
+	fmt.Printf("index footer: %d execution(s), %d block(s)\n", len(idx.Execs), idx.Blocks())
+	var magic [4]byte
+	checkMagic := func(off int64, want string) error {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(f, magic[:]); err != nil {
+			return fmt.Errorf("offset %d: %w", off, err)
+		}
+		if string(magic[:]) != want {
+			return fmt.Errorf("offset %d: found %q, want %q", off, magic[:], want)
+		}
+		return nil
+	}
+	for _, em := range idx.Execs {
+		if err := checkMagic(em.Offset, "PCT2"); err != nil {
+			return fmt.Errorf("index footer: execution %d: %w", em.Exec, err)
+		}
+		fmt.Printf("\napp %s execution %d: %d events at offset %d, %d block(s)\n",
+			em.App, em.Exec, em.Events, em.Offset, len(em.Blocks))
+		fmt.Println("  block    offset  events    ios  forks  time range (s)      pids  pc range")
+		for i, bm := range em.Blocks {
+			if err := checkMagic(bm.Offset, "PCB2"); err != nil {
+				return fmt.Errorf("index footer: execution %d block %d: %w", em.Exec, i, err)
+			}
+			fmt.Printf("  %5d  %8d  %6d %6d %6d  %8.1f–%-8.1f %5d  %08x–%08x\n",
+				i, bm.Offset, bm.Events, bm.IOs, bm.Forks,
+				bm.MinTime.Seconds(), bm.MaxTime.Seconds(),
+				len(bm.Pids), uint32(bm.PCMin), uint32(bm.PCMax))
+		}
+	}
+	fmt.Println("\nverified: crc ok, offsets consistent, all entries point at headers")
+	return nil
 }
 
 // inspectBlocks walks a v2 columnar file frame by frame and reports the

@@ -101,11 +101,32 @@ func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error
 	return tbl.String(), nil
 }
 
+// ReplayOptions tune how ReplayFileOpts decodes the trace before it
+// reaches the simulator.
+type ReplayOptions struct {
+	// Workers selects parallel block decode for v2 files (see
+	// trace.OpenOptions.Workers): 0 is the sequential reference path,
+	// < 0 means one worker per CPU.
+	Workers int
+	// Pred restricts the replay to matching events. Index-bearing v2
+	// files skip non-matching blocks without reading them; the stream
+	// is always filtered exactly, so every format and decode path
+	// simulates the same events.
+	Pred trace.Predicate
+}
+
 // ReplayFile opens a trace file (v1 binary, v2 columnar or text — the
 // format is sniffed from the leading bytes) and replays it under the
 // named policies; see ReplaySource.
 func (s *Suite) ReplayFile(path string, policies []string) (string, error) {
-	fs, err := trace.OpenTraceFile(path)
+	return s.ReplayFileOpts(path, policies, ReplayOptions{})
+}
+
+// ReplayFileOpts is ReplayFile with decode options: parallel block
+// decode and predicate pushdown. The zero options replay exactly like
+// ReplayFile.
+func (s *Suite) ReplayFileOpts(path string, policies []string, opts ReplayOptions) (string, error) {
+	fs, err := trace.OpenTraceFileOpts(path, trace.OpenOptions{Workers: opts.Workers, Pred: opts.Pred})
 	if err != nil {
 		return "", err
 	}

@@ -78,6 +78,15 @@ type Config struct {
 	// from these weights. Empty defaults to the paper's six applications,
 	// equally weighted.
 	Mix []AppShare
+	// Replay, if non-empty, replaces the synthetic workload generator
+	// with recorded traces: machines draw applications from the distinct
+	// app names in Replay (equally weighted) and execution i of an app
+	// replays recorded execution i mod n with pass i/n's deterministic
+	// timestamp warp (trace.WarpTime) — the same drift model
+	// trace.Scale uses, so a replayed fleet session keeps each trace's
+	// I/O structure without microsecond-identical repeats. Mutually
+	// exclusive with Mix.
+	Replay []*trace.Trace
 	// Devices is the hardware mix; each machine draws its disk once from
 	// these weights. Empty defaults to the full disk.Catalog, equally
 	// weighted.
@@ -117,10 +126,62 @@ type Spec struct {
 // fleetLabel separates the fleet's rng chain from the workload chains.
 const fleetLabel = 0xF1EE7
 
+// sessionApp is one drawable application in a fleet session: a name and
+// an execution generator. Synthetic mixes bind it to a workload.App's
+// generator; trace replay binds it to recorded executions. Both are pure
+// functions of (seed, exec), which is what keeps the fleet's determinism
+// contract independent of where events come from.
+type sessionApp struct {
+	name         string
+	appendEvents func(buf []trace.Event, seed uint64, exec int) []trace.Event
+}
+
+// replayApps builds the drawable app set from recorded traces: traces
+// group by app name (first-appearance order), and execution i of a
+// group with n recorded executions replays recording i mod n under pass
+// i/n's timestamp warp.
+func replayApps(traces []*trace.Trace) ([]sessionApp, []float64, error) {
+	index := make(map[string]int)
+	var groups [][]*trace.Trace
+	var names []string
+	for i, tr := range traces {
+		if tr == nil || len(tr.Events) == 0 {
+			return nil, nil, fmt.Errorf("fleet: replay trace %d is empty", i)
+		}
+		gi, ok := index[tr.App]
+		if !ok {
+			gi = len(groups)
+			index[tr.App] = gi
+			groups = append(groups, nil)
+			names = append(names, tr.App)
+		}
+		groups[gi] = append(groups[gi], tr)
+	}
+	apps := make([]sessionApp, len(groups))
+	weights := make([]float64, len(groups))
+	for gi := range groups {
+		group := groups[gi]
+		apps[gi] = sessionApp{
+			name: names[gi],
+			appendEvents: func(buf []trace.Event, _ uint64, exec int) []trace.Event {
+				rec := group[exec%len(group)]
+				pass := exec / len(group)
+				for _, e := range rec.Events {
+					e.Time = trace.WarpTime(e.Time, pass)
+					buf = append(buf, e)
+				}
+				return buf
+			},
+		}
+		weights[gi] = 1
+	}
+	return apps, weights, nil
+}
+
 // Fleet is a validated, ready-to-run fleet simulation.
 type Fleet struct {
 	cfg        Config
-	apps       []*workload.App
+	apps       []sessionApp
 	appWeights []float64
 	devices    []disk.Params
 	devWeights []float64
@@ -153,7 +214,10 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if len(cfg.Mix) == 0 {
+	if len(cfg.Replay) > 0 && len(cfg.Mix) > 0 {
+		return nil, fmt.Errorf("fleet: Replay and Mix are mutually exclusive")
+	}
+	if len(cfg.Replay) == 0 && len(cfg.Mix) == 0 {
 		for _, a := range workload.Apps() {
 			cfg.Mix = append(cfg.Mix, AppShare{Name: a.Name, Weight: 1})
 		}
@@ -168,6 +232,13 @@ func New(cfg Config) (*Fleet, error) {
 	}
 
 	f := &Fleet{cfg: cfg}
+	if len(cfg.Replay) > 0 {
+		apps, weights, err := replayApps(cfg.Replay)
+		if err != nil {
+			return nil, err
+		}
+		f.apps, f.appWeights = apps, weights
+	}
 	for _, share := range cfg.Mix {
 		app, ok := workload.ByName(share.Name)
 		if !ok {
@@ -176,7 +247,7 @@ func New(cfg Config) (*Fleet, error) {
 		if share.Weight <= 0 {
 			return nil, fmt.Errorf("fleet: non-positive weight %g for application %q", share.Weight, share.Name)
 		}
-		f.apps = append(f.apps, app)
+		f.apps = append(f.apps, sessionApp{name: app.Name, appendEvents: app.AppendEvents})
 		f.appWeights = append(f.appWeights, share.Weight)
 	}
 	for _, share := range cfg.Devices {

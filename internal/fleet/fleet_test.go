@@ -180,15 +180,111 @@ func TestSessionBounds(t *testing.T) {
 	}
 }
 
+// replayTrace builds a small recorded trace for replay tests.
+func replayTrace(app string, exec int, pcBase trace.PC, n int) *trace.Trace {
+	tr := &trace.Trace{App: app, Execution: exec}
+	for i := 0; i < n; i++ {
+		tr.Events = append(tr.Events, trace.Event{
+			Time: trace.Time(i+1) * 2 * trace.Second, Pid: 1, Kind: trace.KindIO,
+			Access: trace.AccessRead, PC: pcBase + trace.PC(i%4), FD: 3,
+			Block: int64(i), Size: 4096,
+		})
+	}
+	return tr
+}
+
+// TestReplayApps checks the recorded-trace workload adapter: traces
+// group by app name in first-appearance order, execution i round-robins
+// over a group's recordings, and repeat passes warp timestamps exactly
+// like the synthetic generator's drift model.
+func TestReplayApps(t *testing.T) {
+	a0 := replayTrace("editor", 0, 0x1000, 8)
+	b0 := replayTrace("browser", 0, 0x2000, 5)
+	a1 := replayTrace("editor", 1, 0x1100, 6)
+	apps, weights, err := replayApps([]*trace.Trace{a0, b0, a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 || apps[0].name != "editor" || apps[1].name != "browser" {
+		t.Fatalf("grouping: got %d apps, want editor,browser first-appearance order", len(apps))
+	}
+	if len(weights) != 2 || weights[0] != weights[1] {
+		t.Fatalf("weights = %v, want equal", weights)
+	}
+	for exec, want := range []*trace.Trace{a0, a1, a0, a1} {
+		got := apps[0].appendEvents(nil, 7, exec)
+		if len(got) != len(want.Events) {
+			t.Fatalf("exec %d: %d events, want %d", exec, len(got), len(want.Events))
+		}
+		pass := exec / 2
+		for i, e := range got {
+			src := want.Events[i]
+			src.Time = trace.WarpTime(src.Time, pass)
+			if e != src {
+				t.Fatalf("exec %d event %d: %+v, want %+v", exec, i, e, src)
+			}
+		}
+	}
+	// Pass 1 must drift relative to pass 0 — otherwise every machine
+	// replays an identical session and the fleet degenerates.
+	first := apps[0].appendEvents(nil, 7, 0)
+	repeat := apps[0].appendEvents(nil, 7, 2)
+	if first[len(first)-1].Time >= repeat[len(repeat)-1].Time {
+		t.Fatalf("pass 1 did not warp time forward: %v vs %v",
+			first[len(first)-1].Time, repeat[len(repeat)-1].Time)
+	}
+}
+
+// TestReplayFleet runs a fleet on recorded traces: the run must be
+// deterministic across identical configs, and every session must draw
+// from the recorded apps only.
+func TestReplayFleet(t *testing.T) {
+	traces := []*trace.Trace{
+		replayTrace("editor", 0, 0x1000, 40),
+		replayTrace("browser", 0, 0x2000, 30),
+	}
+	run := func() []sim.AppResult {
+		cfg := testConfig(6)
+		cfg.Replay = traces
+		perMachine := make([]sim.AppResult, 6)
+		cfg.Observe = func(id int, res *sim.AppResult) { perMachine[id] = *res }
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return perMachine
+	}
+	first, second := run(), run()
+	for id := range first {
+		if fmt.Sprintf("%+v", first[id]) != fmt.Sprintf("%+v", second[id]) {
+			t.Fatalf("machine %d: replay fleet nondeterministic:\n %+v\nvs %+v",
+				id, first[id], second[id])
+		}
+		if first[id].Executions < 1 {
+			t.Errorf("machine %d ran %d executions, want >= 1", id, first[id].Executions)
+		}
+	}
+}
+
 // TestNewValidation exercises the config error paths.
 func TestNewValidation(t *testing.T) {
 	cases := map[string]func(*Config){
-		"no machines":     func(c *Config) { c.Machines = 0 },
-		"nil policy":      func(c *Config) { c.Policy = nil },
-		"unknown app":     func(c *Config) { c.Mix = []AppShare{{Name: "solitaire", Weight: 1}} },
-		"bad app weight":  func(c *Config) { c.Mix = []AppShare{{Name: "mozilla", Weight: -1}} },
-		"bad dev weight":  func(c *Config) { c.Devices = []DeviceShare{{Device: disk.FujitsuMHF2043AT(), Weight: 0}} },
-		"negative execs":  func(c *Config) { c.Executions = -1 },
+		"no machines":    func(c *Config) { c.Machines = 0 },
+		"nil policy":     func(c *Config) { c.Policy = nil },
+		"unknown app":    func(c *Config) { c.Mix = []AppShare{{Name: "solitaire", Weight: 1}} },
+		"bad app weight": func(c *Config) { c.Mix = []AppShare{{Name: "mozilla", Weight: -1}} },
+		"bad dev weight": func(c *Config) { c.Devices = []DeviceShare{{Device: disk.FujitsuMHF2043AT(), Weight: 0}} },
+		"negative execs": func(c *Config) { c.Executions = -1 },
+		"empty replay trace": func(c *Config) {
+			c.Replay = []*trace.Trace{{App: "editor", Execution: 0}}
+		},
+		"replay plus mix": func(c *Config) {
+			c.Replay = []*trace.Trace{replayTrace("editor", 0, 0x1000, 4)}
+			c.Mix = []AppShare{{Name: "mozilla", Weight: 1}}
+		},
 		"negative window": func(c *Config) { c.Stagger = -trace.Second },
 		"mixed policy names": func(c *Config) {
 			n := 0

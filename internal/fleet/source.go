@@ -111,9 +111,9 @@ func (s *mixSource) NextExec() (string, int, bool) {
 	exec := s.execIdx[app]
 	s.execIdx[app]++
 	s.emitted++
-	s.cur = s.f.apps[app].AppendEvents(s.cur, s.seed, exec)
+	s.cur = s.f.apps[app].appendEvents(s.cur, s.seed, exec)
 	s.pos = 0
-	return s.f.apps[app].Name, exec, true
+	return s.f.apps[app].name, exec, true
 }
 
 // Next implements trace.Source.

@@ -4,8 +4,12 @@ import "testing"
 
 // TestResultAffectingScope pins the analyzer scope: every package on the
 // generation → simulation → rendering path (including the hypothesis
-// harness, which feeds verdicts from simulation results) is covered by
-// detmap/nondet-source, while the sanctioned exceptions stay out.
+// harness, which feeds verdicts from simulation results, and the
+// parallel decode pipeline in internal/trace, whose worker/reorder
+// pool handoffs poolsafe vets) is covered by detmap/nondet-source,
+// while the sanctioned exceptions stay out. The decode pipeline's CLI
+// consumers (tracegen, traceinspect, pcapsim) stay outside — they only
+// render what the in-scope packages produce.
 func TestResultAffectingScope(t *testing.T) {
 	for _, p := range []string{
 		"internal/sim", "internal/trace", "internal/experiments",
@@ -16,7 +20,10 @@ func TestResultAffectingScope(t *testing.T) {
 			t.Errorf("%s not in the result-affecting scope", p)
 		}
 	}
-	for _, p := range []string{"internal/rng", "cmd/pcapsim", "internal/lint"} {
+	for _, p := range []string{
+		"internal/rng", "cmd/pcapsim", "cmd/tracegen", "cmd/traceinspect",
+		"internal/lint",
+	} {
 		if resultAffecting(p) {
 			t.Errorf("%s must stay outside the result-affecting scope", p)
 		}

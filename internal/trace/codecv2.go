@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -124,6 +125,11 @@ type BlockEncoder struct {
 	cols        [NumColumns][]byte
 	hdr         []byte
 	pidDict     []PID
+
+	ib         *IndexBuilder // optional: collects per-block index metadata
+	headerWire int           // bytes the execution header occupies on the wire
+	app        string        // execution identity, retained for the index
+	exec       int
 }
 
 // NewBlockEncoder writes the v2 execution header for an execution of
@@ -138,7 +144,7 @@ func NewBlockEncoder(w io.Writer, app string, exec int, count int) (*BlockEncode
 	if len(app) > 1<<20 {
 		return nil, fmt.Errorf("trace: app name too long (%d bytes)", len(app))
 	}
-	enc := &BlockEncoder{count: count, blockEvents: DefaultBlockEvents}
+	enc := &BlockEncoder{count: count, blockEvents: DefaultBlockEvents, app: app, exec: exec}
 	hdr := enc.hdr[:0]
 	hdr = append(hdr, byte(blockVersion), byte(blockVersion>>8)) // uint16 LE
 	hdr = binary.AppendUvarint(hdr, uint64(len(app)))
@@ -146,11 +152,27 @@ func NewBlockEncoder(w io.Writer, app string, exec int, count int) (*BlockEncode
 	hdr = binary.AppendUvarint(hdr, uint64(exec))
 	hdr = binary.AppendUvarint(hdr, uint64(count))
 	enc.hdr = hdr
+	enc.headerWire = len(blockFileMagic) + len(hdr) + 4
 	enc.bw = bufio.NewWriter(w)
 	enc.bw.WriteString(blockFileMagic) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	enc.bw.Write(hdr)                  //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	writeCRC32(enc.bw, crc32.ChecksumIEEE(hdr))
 	return enc, nil
+}
+
+// SetIndex attaches an IndexBuilder that collects per-block metadata
+// (file offsets, event populations, time range, pid set, PC range) while
+// the encoder writes. The builder's running offset must equal the file
+// offset this encoder's execution header was written at; after the final
+// encoder's Close, IndexBuilder.WriteFooter appends the seekable "PCI2"
+// footer. SetIndex must be called before the first Write.
+func (enc *BlockEncoder) SetIndex(ib *IndexBuilder) error {
+	if enc.written > 0 {
+		return fmt.Errorf("trace: SetIndex after Write")
+	}
+	enc.ib = ib
+	ib.beginExec(enc.app, enc.exec, uint64(enc.count), enc.headerWire)
+	return nil
 }
 
 // SetBlockEvents overrides the events-per-block target (mainly for tests
@@ -338,11 +360,50 @@ func (enc *BlockEncoder) flush() error {
 	enc.bw.WriteString(blockMagic) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	enc.bw.Write(hdr)              //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
 	writeCRC32(enc.bw, crc)
+	total := 0
 	for i := range enc.cols {
 		enc.bw.Write(enc.cols[i]) //pcaplint:ignore errcheck-lite bufio errors are sticky and surface at Close's Flush
+		total += len(enc.cols[i])
+	}
+	if enc.ib != nil {
+		enc.ib.addBlock(enc.blockMeta(n, nIO, nFork, base),
+			len(blockMagic)+len(hdr)+4+total)
 	}
 	enc.buf = enc.buf[:0]
 	return nil
+}
+
+// blockMeta summarizes the buffered block for the index footer. The
+// stats are exact over the block's events — MinTime/MaxTime span the
+// block, Pids is the sorted set of every Pid field, PCMin/PCMax bound
+// the I/O events' program counters — which is what makes index-driven
+// block skipping sound (Predicate.MatchMeta is conservative over them).
+func (enc *BlockEncoder) blockMeta(n, nIO, nFork int, base Time) BlockMeta {
+	buf := enc.buf
+	m := BlockMeta{
+		Events:  n,
+		IOs:     nIO,
+		Forks:   nFork,
+		MinTime: base,
+		MaxTime: buf[n-1].Time,
+	}
+	m.Pids = append(m.Pids, enc.pidDict...) // flush already deduplicated them
+	sort.Slice(m.Pids, func(i, j int) bool { return m.Pids[i] < m.Pids[j] })
+	first := true
+	for i := range buf {
+		if buf[i].Kind != KindIO {
+			continue
+		}
+		pc := buf[i].PC
+		if first || pc < m.PCMin {
+			m.PCMin = pc
+		}
+		if first || pc > m.PCMax {
+			m.PCMax = pc
+		}
+		first = false
+	}
+	return m
 }
 
 func pidIndex(dict []PID, p PID) int {
@@ -561,6 +622,34 @@ type BlockDecoder struct {
 	frame   *Frame
 	stats   BlockStats
 	pidDict []PID
+
+	// Predicate pushdown (SetPredicate): when plan is non-nil the decoder
+	// walks only the index-selected blocks, seeking past the rest.
+	plan       []planExec
+	planPos    int         // next plan execution
+	planCur    planExec    // plan entry being decoded, for header verification
+	planBlocks []planBlock // kept blocks of the current execution
+	planNext   int         // next kept block within planBlocks
+}
+
+// planExec is one execution of a pushdown plan: the file offset of its
+// header, the identity the index claims for it (verified against the
+// decoded header — a stale or transplanted footer must fail loudly, not
+// mis-skip), and the blocks whose index metadata could match the
+// predicate.
+type planExec struct {
+	off    int64
+	app    string
+	exec   int
+	events uint64
+	blocks []planBlock
+}
+
+// planBlock locates one kept block: its file offset and its ordinal
+// within the execution (so error messages still name the on-disk block).
+type planBlock struct {
+	off     int64
+	ordinal int
 }
 
 // NewBlockDecoder returns a streaming v2 decoder over r. If r is also an
@@ -576,6 +665,72 @@ func (d *BlockDecoder) Count() uint64 { return d.count }
 
 // BlockStats returns statistics of the most recently decoded block.
 func (d *BlockDecoder) BlockStats() BlockStats { return d.stats }
+
+// end marks a clean end of stream, returning the pooled frame.
+func (d *BlockDecoder) end() {
+	d.ended = true
+	if d.frame != nil {
+		framePool.Put(d.frame)
+		d.frame = nil
+	}
+}
+
+// seekTo repositions the underlying reader at an absolute file offset,
+// discarding buffered read-ahead.
+func (d *BlockDecoder) seekTo(off int64) bool {
+	if d.seek == nil {
+		d.fail("pushdown requires a seekable input")
+		return false
+	}
+	if _, err := d.seek.Seek(off, io.SeekStart); err != nil {
+		d.fail("%v", err)
+		return false
+	}
+	d.br.Reset(d.r)
+	return true
+}
+
+// SetPredicate arms index-backed predicate pushdown: when the input is
+// seekable and carries a valid "PCI2" footer, blocks whose index metadata
+// cannot match p are skipped with seeks — their bytes are never read.
+// Surviving blocks still carry events the predicate rejects (block stats
+// are conservative), so exact filtering composes FilterEvents on top.
+//
+// It returns whether pushdown is active. A missing, truncated or corrupt
+// footer deactivates pushdown and the decoder falls back to the full
+// sequential scan, preserving plain-decoder behavior byte for byte. It
+// must be called before the first NextExec.
+func (d *BlockDecoder) SetPredicate(p Predicate) bool {
+	if p.IsZero() || d.seek == nil {
+		return false
+	}
+	rs, ok := d.r.(io.ReadSeeker)
+	if !ok {
+		return false
+	}
+	idx, err := ReadIndex(rs)
+	active := err == nil && idx != nil
+	if active {
+		plan := make([]planExec, 0, len(idx.Execs))
+		for _, em := range idx.Execs {
+			pe := planExec{off: em.Offset, app: em.App, exec: em.Exec, events: em.Events}
+			for bi := range em.Blocks {
+				bm := &em.Blocks[bi]
+				if p.MatchMeta(bm) {
+					pe.blocks = append(pe.blocks, planBlock{off: bm.Offset, ordinal: bi})
+				}
+			}
+			plan = append(plan, pe)
+		}
+		d.plan = plan
+		d.planPos = 0
+	}
+	// ReadIndex moved the reader; restore the stream start either way.
+	if !d.seekTo(0) {
+		return false
+	}
+	return active
+}
 
 // fail records a sticky decode error.
 func (d *BlockDecoder) fail(format string, args ...any) {
@@ -597,6 +752,22 @@ func (d *BlockDecoder) NextExec() (string, int, bool) {
 	if d.err != nil || d.ended {
 		return "", 0, false
 	}
+	if d.plan != nil {
+		// Pushdown: seek straight to the next execution's header instead
+		// of decoding through the rest of the current one.
+		if d.planPos >= len(d.plan) {
+			d.end()
+			return "", 0, false
+		}
+		pe := d.plan[d.planPos]
+		d.planPos++
+		d.planCur = pe
+		d.inExec = false
+		d.planBlocks, d.planNext = pe.blocks, 0
+		if !d.seekTo(pe.off) {
+			return "", 0, false
+		}
+	}
 	for d.inExec { // discard the rest of the current execution
 		if _, ok := d.NextFrame(); !ok {
 			if d.err != nil {
@@ -605,19 +776,34 @@ func (d *BlockDecoder) NextExec() (string, int, bool) {
 		}
 	}
 	magic := d.scratch[:4]
-	if _, err := io.ReadFull(d.br, magic); err != nil {
-		if err == io.EOF {
-			d.ended = true // clean boundary: no more executions
-			if d.frame != nil {
-				framePool.Put(d.frame)
-				d.frame = nil
+	for {
+		if _, err := io.ReadFull(d.br, magic); err != nil {
+			if err == io.EOF {
+				d.end() // clean boundary: no more executions
+			} else {
+				d.fail("%v", err)
 			}
-		} else {
-			d.fail("%v", err)
+			return "", 0, false
 		}
-		return "", 0, false
-	}
-	if string(magic) != blockFileMagic {
+		if string(magic) == blockFileMagic {
+			break
+		}
+		if string(magic) == indexMagic {
+			// An index footer trails each indexed write. Skip it by its
+			// length field and keep scanning: concatenated trace files
+			// interleave footers with executions, and a footer at EOF
+			// reads as a clean end of stream on the next iteration.
+			if _, err := io.ReadFull(d.br, d.scratch[:4]); err != nil {
+				d.fail("truncated index footer: %v", err)
+				return "", 0, false
+			}
+			skip := int64(binary.LittleEndian.Uint32(d.scratch[:4]))
+			if _, err := io.CopyN(io.Discard, d.br, skip); err != nil {
+				d.fail("truncated index footer: %v", err)
+				return "", 0, false
+			}
+			continue
+		}
 		d.fail("bad magic %q", magic)
 		return "", 0, false
 	}
@@ -668,6 +854,18 @@ func (d *BlockDecoder) NextExec() (string, int, bool) {
 	d.remaining = count
 	d.blockIdx = 0
 	d.inExec = count > 0
+	if d.plan != nil {
+		// Pushdown trusted the footer for the seek; the header is the
+		// ground truth. A mismatch means the footer describes some other
+		// stream (stale, transplanted, or a concatenation artifact) —
+		// skipping by it could silently drop or misattribute events.
+		pe := d.planCur
+		if d.app != pe.app || d.exec != pe.exec || d.count != pe.events {
+			d.fail("index footer: execution at offset %d is %s/%d (%d events), index says %s/%d (%d events)",
+				pe.off, d.app, d.exec, d.count, pe.app, pe.exec, pe.events)
+			return "", 0, false
+		}
+	}
 	return d.app, d.exec, true
 }
 
@@ -697,14 +895,37 @@ type blockHeader struct {
 	base               Time
 	colLen             [NumColumns]int
 	total              int
+	storedCRC          uint32
 }
 
-// readBlock reads and validates the next block's magic, header and
-// CRC-checked payload (left in d.payload). On any failure the decoder's
-// error names the block index.
+// readBlock reads, validates and CRC-checks the next block, leaving its
+// payload in d.payload. On any failure the decoder's error names the
+// block index.
 func (d *BlockDecoder) readBlock(h *blockHeader) bool {
+	return d.readBlockRaw(h) && d.verifyBlockCRC(h.storedCRC)
+}
+
+// readBlockRaw reads and structurally validates the next block's magic,
+// header and payload without verifying the CRC (h.storedCRC carries it
+// for a later verifyBlockCRC — the parallel pipeline's workers run the
+// CRC and column decode off the reading goroutine). Under a pushdown
+// plan it first seeks to the next kept block, ending the execution when
+// the plan is exhausted.
+func (d *BlockDecoder) readBlockRaw(h *blockHeader) bool {
 	if d.err != nil || !d.inExec {
 		return false
+	}
+	if d.plan != nil {
+		if d.planNext >= len(d.planBlocks) {
+			d.inExec = false
+			return false
+		}
+		pb := d.planBlocks[d.planNext]
+		d.planNext++
+		d.blockIdx = pb.ordinal
+		if !d.seekTo(pb.off) {
+			return false
+		}
 	}
 	magic := d.scratch[:4]
 	if _, err := io.ReadFull(d.br, magic); err != nil {
@@ -760,21 +981,26 @@ func (d *BlockDecoder) readBlock(h *blockHeader) bool {
 		d.failBlock("%v", err)
 		return false
 	}
-	storedCRC := binary.LittleEndian.Uint32(d.scratch[4:8])
+	h.storedCRC = binary.LittleEndian.Uint32(d.scratch[4:8])
 	d.payload = growSlice(d.payload, total)
 	if _, err := io.ReadFull(d.br, d.payload); err != nil {
 		d.failBlock("%v", err)
 		return false
 	}
-	crc := crc32.ChecksumIEEE(d.hdr)
-	crc = crc32.Update(crc, crc32.IEEETable, d.payload)
-	if storedCRC != crc {
-		d.failBlock("checksum mismatch (corrupt block): stored %08x, computed %08x", storedCRC, crc)
-		return false
-	}
 	h.events, h.ios, h.forks = int(nEvents), int(nIO), int(nFork)
 	h.base = Time(base)
 	h.total = total
+	return true
+}
+
+// verifyBlockCRC checks the stored block CRC against d.hdr + d.payload.
+func (d *BlockDecoder) verifyBlockCRC(stored uint32) bool {
+	crc := crc32.ChecksumIEEE(d.hdr)
+	crc = crc32.Update(crc, crc32.IEEETable, d.payload)
+	if stored != crc {
+		d.failBlock("checksum mismatch (corrupt block): stored %08x, computed %08x", stored, crc)
+		return false
+	}
 	return true
 }
 
@@ -1377,6 +1603,8 @@ func (d *BlockDecoder) Reset() error {
 	d.inExec = false
 	d.count, d.remaining = 0, 0
 	d.blockIdx = 0
+	d.planPos = 0
+	d.planBlocks, d.planNext = nil, 0
 	return nil
 }
 
@@ -1398,6 +1626,11 @@ func NewBlockSource(r io.Reader) *BlockSource {
 
 // Decoder exposes the underlying block decoder (for block-level stats).
 func (s *BlockSource) Decoder() *BlockDecoder { return s.d }
+
+// SetPredicate arms index-backed predicate pushdown on the underlying
+// decoder (see BlockDecoder.SetPredicate); it reports whether pushdown
+// is active. Must be called before the first NextExec.
+func (s *BlockSource) SetPredicate(p Predicate) bool { return s.d.SetPredicate(p) }
 
 // Count returns the number of events the current execution's header
 // declared.
@@ -1468,6 +1701,11 @@ func NewFrameSource(r io.Reader) *FrameSource {
 
 // Decoder exposes the underlying block decoder (for block-level stats).
 func (s *FrameSource) Decoder() *BlockDecoder { return s.d }
+
+// SetPredicate arms index-backed predicate pushdown on the underlying
+// decoder (see BlockDecoder.SetPredicate); it reports whether pushdown
+// is active. Must be called before the first NextExec.
+func (s *FrameSource) SetPredicate(p Predicate) bool { return s.d.SetPredicate(p) }
 
 // NextExec advances to the next execution, returning its app name and
 // execution number.

@@ -1,0 +1,469 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Seekable index footer ("PCI2")
+//
+// A v2 trace file may end with an index footer describing every
+// execution and block in the file: where each one starts, how many
+// events it holds, and conservative per-block column statistics (time
+// range, pid set, PC range). The footer is what turns a multi-GB trace
+// from a mandatory full scan into a seekable structure — predicate
+// pushdown (Predicate.MatchMeta) selects blocks from the index and the
+// decoder seeks straight to them, never reading the skipped bytes.
+//
+// The footer is strictly backward compatible: it sits after the last
+// execution, and a sequential BlockDecoder that reaches its leading
+// "PCI2" magic skips it via the skip-length field and keeps scanning —
+// so concatenated trace files (each trailing its own footer) still
+// decode in full, and a footer at EOF reads as a clean end of stream.
+// Old files without a footer keep working (ReadIndex reports "no
+// index", and every consumer falls back to the sequential scan).
+//
+// Footer layout (all integers varint unless noted):
+//
+//	magic   "PCI2" (4 bytes)
+//	skip    uint32 (little endian): bytes remaining after this field,
+//	        through the trailing magic — how far a forward-streaming
+//	        reader jumps to land just past the footer (equals length)
+//	body    region covered by the footer CRC:
+//	    version   byte = 1
+//	    coverage  uvarint: size of the data region the footer describes —
+//	              must equal the footer's own start offset, which pins a
+//	              footer to its stream (a concatenation's trailing footer
+//	              covers only its own segment and is rejected)
+//	    nexecs    uvarint
+//	    per execution:
+//	        app      uvarint length + bytes
+//	        exec     uvarint
+//	        events   uvarint
+//	        offset   uvarint (absolute file offset of the "PCT2" magic)
+//	        nblocks  uvarint
+//	        per block:
+//	            offset   uvarint delta from the previous record's offset
+//	                     (first delta is from the execution offset)
+//	            events   uvarint
+//	            ios      uvarint
+//	            forks    uvarint
+//	            mintime  uvarint
+//	            maxtime  uvarint delta from mintime
+//	            npids    uvarint
+//	            pids     first varint, then uvarint deltas (sorted, unique)
+//	            pcmin    uvarint
+//	            pcmax    uvarint delta from pcmin
+//	crc32   uint32 (little endian, IEEE) of the body
+//	length  uint32 (little endian): bytes from the leading magic through
+//	        the CRC — the footer's size excluding this field and the
+//	        trailer magic (numerically equal to skip)
+//	magic   "PCI2" (4 bytes, the file's final bytes)
+//
+// Detection walks backward: the trailing magic marks "a footer may be
+// present", the length field locates its start, and the leading magic
+// plus CRC confirm it. The CRC covers the body, so any single-bit flip
+// inside the footer is detected (a flip in the trailer magic makes the
+// file look index-less, which is the safe fallback; a flip in the
+// length field moves the claimed start, where the leading-magic and CRC
+// checks reject it). Structural validation on top of the CRC — offsets
+// strictly increasing and inside the data region, block event counts
+// summing to the execution's — means a footer that passes ReadIndex
+// can be trusted for seeking.
+
+const indexMagic = "PCI2"
+
+const indexVersion = 1
+
+// BlockMeta is one block's index entry: its file offset plus the exact
+// column statistics pushdown predicates are evaluated against.
+type BlockMeta struct {
+	// Offset is the absolute file offset of the block's "PCB2" magic.
+	Offset int64
+	// Events, IOs and Forks are the block's event populations.
+	Events, IOs, Forks int
+	// MinTime and MaxTime span the block's event timestamps.
+	MinTime, MaxTime Time
+	// Pids is the sorted set of process ids appearing in the block.
+	Pids []PID
+	// PCMin and PCMax bound the program counters of the block's I/O
+	// events; both are zero when the block has no I/O.
+	PCMin, PCMax PC
+}
+
+// ExecMeta is one execution's index entry.
+type ExecMeta struct {
+	// App and Exec identify the execution (the header's app name and
+	// execution number).
+	App  string
+	Exec int
+	// Events is the execution's declared event count.
+	Events uint64
+	// Offset is the absolute file offset of the execution's "PCT2" magic.
+	Offset int64
+	// Blocks lists the execution's blocks in file order.
+	Blocks []BlockMeta
+}
+
+// Index is a v2 trace file's decoded index footer.
+type Index struct {
+	Execs []ExecMeta
+}
+
+// Blocks returns the total number of indexed blocks.
+func (x *Index) Blocks() int {
+	n := 0
+	for i := range x.Execs {
+		n += len(x.Execs[i].Blocks)
+	}
+	return n
+}
+
+// IndexBuilder accumulates index metadata while one or more
+// BlockEncoders write executions to the same file, then writes the
+// footer. Attach it to each encoder with SetIndex (in file order —
+// the builder tracks the running file offset), and call WriteFooter
+// after the last encoder's Close.
+type IndexBuilder struct {
+	off int64
+	idx Index
+}
+
+// NewIndexBuilder returns a builder whose running offset starts at 0
+// (the encoders' output begins at the start of the file).
+func NewIndexBuilder() *IndexBuilder { return &IndexBuilder{} }
+
+// beginExec records the next execution's identity at the current offset
+// and advances past its wire header.
+func (b *IndexBuilder) beginExec(app string, exec int, events uint64, headerWire int) {
+	b.idx.Execs = append(b.idx.Execs, ExecMeta{
+		App:    app,
+		Exec:   exec,
+		Events: events,
+		Offset: b.off,
+	})
+	b.off += int64(headerWire)
+}
+
+// addBlock records a flushed block at the current offset and advances
+// past its wire size.
+func (b *IndexBuilder) addBlock(m BlockMeta, wire int) {
+	m.Offset = b.off
+	em := &b.idx.Execs[len(b.idx.Execs)-1]
+	em.Blocks = append(em.Blocks, m)
+	b.off += int64(wire)
+}
+
+// Index returns the collected index. The returned value aliases the
+// builder's state; treat it as read-only.
+func (b *IndexBuilder) Index() *Index { return &b.idx }
+
+// WriteFooter appends the index footer to w, which must be positioned at
+// the end of the last encoded execution.
+func (b *IndexBuilder) WriteFooter(w io.Writer) error {
+	body := []byte{indexVersion}
+	// Coverage: the footer describes exactly the b.off data bytes before
+	// it. A reader finding the footer anywhere else (e.g. the last
+	// footer of a concatenation, whose offsets are segment-relative)
+	// must not seek by it.
+	body = binary.AppendUvarint(body, uint64(b.off))
+	body = binary.AppendUvarint(body, uint64(len(b.idx.Execs)))
+	for i := range b.idx.Execs {
+		em := &b.idx.Execs[i]
+		body = binary.AppendUvarint(body, uint64(len(em.App)))
+		body = append(body, em.App...)
+		body = binary.AppendUvarint(body, uint64(em.Exec))
+		body = binary.AppendUvarint(body, em.Events)
+		body = binary.AppendUvarint(body, uint64(em.Offset))
+		body = binary.AppendUvarint(body, uint64(len(em.Blocks)))
+		prevOff := em.Offset
+		for j := range em.Blocks {
+			bm := &em.Blocks[j]
+			body = binary.AppendUvarint(body, uint64(bm.Offset-prevOff))
+			prevOff = bm.Offset
+			body = binary.AppendUvarint(body, uint64(bm.Events))
+			body = binary.AppendUvarint(body, uint64(bm.IOs))
+			body = binary.AppendUvarint(body, uint64(bm.Forks))
+			body = binary.AppendUvarint(body, uint64(bm.MinTime))
+			body = binary.AppendUvarint(body, uint64(bm.MaxTime-bm.MinTime))
+			body = binary.AppendUvarint(body, uint64(len(bm.Pids)))
+			for k, pid := range bm.Pids {
+				if k == 0 {
+					body = binary.AppendVarint(body, int64(pid))
+				} else {
+					body = binary.AppendUvarint(body, uint64(pid)-uint64(bm.Pids[k-1]))
+				}
+			}
+			body = binary.AppendUvarint(body, uint64(bm.PCMin))
+			body = binary.AppendUvarint(body, uint64(bm.PCMax-bm.PCMin))
+		}
+	}
+	var out []byte
+	out = append(out, indexMagic...)
+	var le [12]byte
+	// skip: body+crc+length+trailer — everything after this field.
+	binary.LittleEndian.PutUint32(le[:4], uint32(len(body)+12))
+	out = append(out, le[:4]...)
+	out = append(out, body...)
+	binary.LittleEndian.PutUint32(le[4:8], crc32.ChecksumIEEE(body))
+	out = append(out, le[4:8]...)
+	binary.LittleEndian.PutUint32(le[8:], uint32(len(out))) // magic+skip+body+crc
+	out = append(out, le[8:]...)
+	out = append(out, indexMagic...)
+	_, err := w.Write(out)
+	return err
+}
+
+// failIndex wraps an index-footer validation error.
+func failIndex(format string, args ...any) error {
+	return fmt.Errorf("%w: index footer: %s", ErrBadFormat, fmt.Sprintf(format, args...))
+}
+
+// ReadIndex looks for an index footer at the end of r and decodes it.
+// It returns (nil, nil) when the file carries no footer — the sequential
+// scan is then the only access path — and an error when a footer is
+// present but truncated, corrupt, or structurally inconsistent. The
+// reader's position is unspecified afterwards; seek before reusing it.
+func ReadIndex(r io.ReadSeeker) (*Index, error) {
+	size, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, err
+	}
+	const tail = 8 // length field + trailer magic
+	if size < tail {
+		return nil, nil
+	}
+	var tb [tail]byte
+	if _, err := r.Seek(size-tail, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, tb[:]); err != nil {
+		return nil, err
+	}
+	if string(tb[4:]) != indexMagic {
+		return nil, nil // no footer: plain sequential file
+	}
+	flen := int64(binary.LittleEndian.Uint32(tb[:4]))
+	// Minimum footer: magic + skip length + version + coverage + nexecs=0 + crc.
+	if flen < 15 || flen+tail > size {
+		return nil, failIndex("length %d out of range for a %d-byte file", flen, size)
+	}
+	start := size - tail - flen
+	buf := make([]byte, flen)
+	if _, err := r.Seek(start, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if string(buf[:4]) != indexMagic {
+		return nil, failIndex("bad magic %q", buf[:4])
+	}
+	if skip := int64(binary.LittleEndian.Uint32(buf[4:8])); skip != flen {
+		return nil, failIndex("skip length %d inconsistent with footer length %d", skip, flen)
+	}
+	body := buf[8 : flen-4]
+	stored := binary.LittleEndian.Uint32(buf[flen-4:])
+	if crc := crc32.ChecksumIEEE(body); crc != stored {
+		return nil, failIndex("checksum mismatch: stored %08x, computed %08x", stored, crc)
+	}
+	return parseIndex(body, start)
+}
+
+// parseIndex decodes and structurally validates the footer body.
+// dataEnd is the file offset the footer starts at — every record offset
+// must fall strictly inside [0, dataEnd).
+func parseIndex(body []byte, dataEnd int64) (*Index, error) {
+	p := 0
+	uv := func(what string) (uint64, error) {
+		v, np := uvarintAt(body, p)
+		if np < 0 {
+			return 0, failIndex("truncated %s", what)
+		}
+		p = np
+		return v, nil
+	}
+	if body[0] != indexVersion {
+		return nil, failIndex("unsupported version %d", body[0])
+	}
+	p = 1
+	coverage, err := uv("coverage")
+	if err != nil {
+		return nil, err
+	}
+	if int64(coverage) != dataEnd {
+		// The footer describes a different (usually shorter) data region
+		// — e.g. the trailing footer of concatenated files, whose
+		// offsets are segment-relative. Seeking by it would be wrong.
+		return nil, failIndex("footer covers %d bytes but sits after %d — not this stream's index", coverage, dataEnd)
+	}
+	nexecs, err := uv("execution count")
+	if err != nil {
+		return nil, err
+	}
+	if nexecs > uint64(len(body)) { // each entry needs at least one byte
+		return nil, failIndex("execution count %d exceeds footer size", nexecs)
+	}
+	idx := &Index{}
+	prevEnd := int64(0) // previous record's offset + 1 (offsets strictly increase)
+	for e := uint64(0); e < nexecs; e++ {
+		var em ExecMeta
+		nameLen, err := uv("app name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > uint64(len(body)-p) {
+			return nil, failIndex("app name overruns footer")
+		}
+		em.App = string(body[p : p+int(nameLen)])
+		p += int(nameLen)
+		exec, err := uv("execution number")
+		if err != nil {
+			return nil, err
+		}
+		em.Exec = int(exec)
+		if em.Events, err = uv("event count"); err != nil {
+			return nil, err
+		}
+		off, err := uv("execution offset")
+		if err != nil {
+			return nil, err
+		}
+		em.Offset = int64(off)
+		if em.Offset < prevEnd || em.Offset >= dataEnd {
+			return nil, failIndex("execution %d offset %d out of order or past the data region (%d)",
+				em.Exec, em.Offset, dataEnd)
+		}
+		prevEnd = em.Offset + 1
+		nblocks, err := uv("block count")
+		if err != nil {
+			return nil, err
+		}
+		if nblocks > uint64(len(body)) {
+			return nil, failIndex("block count %d exceeds footer size", nblocks)
+		}
+		var sum uint64
+		for b := uint64(0); b < nblocks; b++ {
+			var bm BlockMeta
+			delta, err := uv("block offset")
+			if err != nil {
+				return nil, err
+			}
+			prev := em.Offset
+			if b > 0 {
+				prev = em.Blocks[b-1].Offset
+			}
+			bm.Offset = prev + int64(delta)
+			if bm.Offset < prevEnd || bm.Offset >= dataEnd {
+				return nil, failIndex("block offset %d out of order or past the data region (%d)",
+					bm.Offset, dataEnd)
+			}
+			prevEnd = bm.Offset + 1
+			events, err := uv("block event count")
+			if err != nil {
+				return nil, err
+			}
+			if events == 0 || events > maxBlockEvents {
+				return nil, failIndex("block event count %d out of range", events)
+			}
+			bm.Events = int(events)
+			ios, err := uv("block io count")
+			if err != nil {
+				return nil, err
+			}
+			forks, err := uv("block fork count")
+			if err != nil {
+				return nil, err
+			}
+			if ios > events || forks > events {
+				return nil, failIndex("block populations %d/%d exceed events %d", ios, forks, events)
+			}
+			bm.IOs, bm.Forks = int(ios), int(forks)
+			minT, err := uv("block min time")
+			if err != nil {
+				return nil, err
+			}
+			dT, err := uv("block time span")
+			if err != nil {
+				return nil, err
+			}
+			bm.MinTime = Time(minT)
+			bm.MaxTime = bm.MinTime + Time(dT)
+			npids, err := uv("block pid count")
+			if err != nil {
+				return nil, err
+			}
+			if npids > events {
+				return nil, failIndex("block pid count %d exceeds events %d", npids, events)
+			}
+			bm.Pids = make([]PID, npids)
+			for k := range bm.Pids {
+				if k == 0 {
+					v, np := varintAt(body, p)
+					if np < 0 {
+						return nil, failIndex("truncated pid set")
+					}
+					p = np
+					bm.Pids[0] = PID(v)
+					continue
+				}
+				d, err := uv("pid delta")
+				if err != nil {
+					return nil, err
+				}
+				if d == 0 {
+					return nil, failIndex("pid set not strictly sorted")
+				}
+				bm.Pids[k] = PID(uint64(bm.Pids[k-1]) + d)
+			}
+			pcMin, err := uv("block pc min")
+			if err != nil {
+				return nil, err
+			}
+			dPC, err := uv("block pc span")
+			if err != nil {
+				return nil, err
+			}
+			bm.PCMin = PC(pcMin)
+			bm.PCMax = bm.PCMin + PC(dPC)
+			sum += events
+			em.Blocks = append(em.Blocks, bm)
+		}
+		if sum != em.Events {
+			return nil, failIndex("execution %d blocks hold %d events, header declares %d",
+				em.Exec, sum, em.Events)
+		}
+		idx.Execs = append(idx.Execs, em)
+	}
+	if p != len(body) {
+		return nil, failIndex("%d trailing bytes", len(body)-p)
+	}
+	return idx, nil
+}
+
+// WriteColumnarIndexed encodes the traces to w as one v2 columnar file —
+// each trace one execution, in order — followed by the index footer. It
+// is the indexed counterpart of calling WriteColumnar per trace.
+func WriteColumnarIndexed(w io.Writer, traces ...*Trace) error {
+	ib := NewIndexBuilder()
+	for _, t := range traces {
+		enc, err := NewBlockEncoder(w, t.App, t.Execution, len(t.Events))
+		if err != nil {
+			return err
+		}
+		if err := enc.SetIndex(ib); err != nil {
+			return err
+		}
+		for _, e := range t.Events {
+			if err := enc.Write(e); err != nil {
+				return err
+			}
+		}
+		if err := enc.Close(); err != nil {
+			return err
+		}
+	}
+	return ib.WriteFooter(w)
+}

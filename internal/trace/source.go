@@ -324,6 +324,12 @@ func warpTime(t Time, r int) Time {
 	return t + (t/1024)*Time(r)
 }
 
+// WarpTime is pass r's deterministic timestamp stretch, t → t +
+// (t/1024)·r — the drift model Scale applies between repetitions,
+// exported so other repeat-replay layers (fleet trace replay) warp
+// identically.
+func WarpTime(t Time, r int) Time { return warpTime(t, r) }
+
 func (s *scaleSource) NextExec() (string, int, bool) {
 	if s.err != nil {
 		return "", 0, false
