@@ -46,6 +46,35 @@ if [[ "${1:-}" != "quick" ]]; then
 	go test -race -short -timeout 30m ./...
 fi
 
+# Server smoke: boot a real pcapd, drive it with pcapload at 32
+# concurrent clients over loopback, and shut it down with SIGTERM. This
+# is blocking — a failed job, a non-zero pcapload exit, or an unclean
+# drain fails the gate. The recorded run (jobs/s, events/s, latency) is
+# appended to the bench artifact below so it lands in BENCH_PR*.json
+# alongside the in-process benchmarks. LOAD_TIME stretches the window
+# for recorded runs; the default keeps CI fast.
+echo "== pcapd/pcapload smoke (32 clients, ${LOAD_TIME:-3s})"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+go build -o "${smoke_dir}/pcapd" ./cmd/pcapd
+go build -o "${smoke_dir}/pcapload" ./cmd/pcapload
+"${smoke_dir}/pcapd" -addr 127.0.0.1:0 -addrfile "${smoke_dir}/addr" 2>"${smoke_dir}/pcapd.log" &
+pcapd_pid=$!
+for _ in $(seq 1 100); do
+	[[ -s "${smoke_dir}/addr" ]] && break
+	kill -0 "${pcapd_pid}" 2>/dev/null || break
+	sleep 0.1
+done
+if [[ ! -s "${smoke_dir}/addr" ]]; then
+	echo "ci: pcapd failed to start:" >&2
+	cat "${smoke_dir}/pcapd.log" >&2
+	exit 1
+fi
+"${smoke_dir}/pcapload" -addr "$(cat "${smoke_dir}/addr")" -c 32 \
+	-duration "${LOAD_TIME:-3s}" -benchline | tee "${smoke_dir}/load.txt"
+kill -TERM "${pcapd_pid}"
+wait "${pcapd_pid}"
+
 # Hot-path benchmarks. The sweep itself stays non-blocking (a failed
 # bench run or missing artifact never fails the gate), but the recorded
 # throughput trajectory now pays rent: once the JSON report is written,
@@ -65,22 +94,27 @@ fi
 # filter is the allocation-sensitive hot path; BENCH_FILTER='.' sweeps
 # everything.
 bench_artifact="${BENCH_ARTIFACT:-bench.txt}"
-bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$|DecodeV2(Parallel|Pushdown)\$|Fleet(1k|10k)\$|FleetReplay1k\$}"
+bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$|DecodeV2(Parallel|Pushdown)\$|Fleet(1k|10k)\$|FleetReplay1k\$|PcapdSustained\$|Counters(Coalesced|Atomic|Mutex)\$}"
 echo "== go test -bench (hot path) -benchmem (artifact: ${bench_artifact})"
 if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME:-1s}" . >"${bench_artifact}" 2>&1; then
+	# Fold the recorded pcapload run (already in bench-line format) into
+	# the artifact so the load-generator numbers ride the same JSON.
+	if [[ -s "${smoke_dir}/load.txt" ]]; then
+		cat "${smoke_dir}/load.txt" >>"${bench_artifact}"
+	fi
 	grep '^Benchmark' "${bench_artifact}" || true
 	# Machine-readable perf trajectory: benchmark name → iterations and
 	# every metric (ns/op, B/op, allocs/op, ios/s, events/s, ...). The
 	# JSON is committed per PR so perf history survives in-repo; schema
 	# in EXPERIMENTS.md.
-	bench_json="${BENCH_JSON:-BENCH_PR8.json}"
+	bench_json="${BENCH_JSON:-BENCH_PR9.json}"
 	bench_baseline="${BENCH_BASELINE:-}"
 	if [[ -z "${bench_baseline}" ]]; then
 		if [[ -f "${bench_json}" ]]; then
 			bench_baseline="$(mktemp)"
 			cp "${bench_json}" "${bench_baseline}"
 		else
-			bench_baseline="BENCH_PR7.json"
+			bench_baseline="BENCH_PR8.json"
 		fi
 	fi
 	if go run ./cmd/benchjson -o "${bench_json}" "${bench_artifact}"; then
@@ -88,7 +122,7 @@ if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME
 		if [[ "${BENCH_GATE:-on}" != "off" && -f "${bench_baseline}" ]]; then
 			echo "== benchjson -gate ${bench_baseline} (blocking)"
 			go run ./cmd/benchjson -gate "${bench_baseline}" \
-				-metrics "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s,BenchmarkDecodeV2Parallel:events/s,BenchmarkFleet1k:machines/s" \
+				-metrics "BenchmarkFullSimulation:ios/s,BenchmarkDecodeV2:events/s,BenchmarkDecodeV2Parallel:events/s,BenchmarkFleet1k:machines/s,BenchmarkPcapdSustained:jobs/s,BenchmarkCountersCoalesced:adds/s" \
 				-threshold 0.10 "${bench_json}"
 		fi
 	else

@@ -51,10 +51,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
+	"pcapsim/internal/cliutil"
 	"pcapsim/internal/experiments"
 	"pcapsim/internal/fleet"
 	"pcapsim/internal/hypothesis"
@@ -71,11 +71,6 @@ func main() {
 		scaleFlag    = flag.Int("scale", 1, "repeat every workload N times with warped timestamps (1 = the paper's workloads)")
 		onDemandFlag = flag.Bool("ondemand", false, "stream workloads on demand instead of pinning generated traces in memory")
 		replayFlag   = flag.String("replay", "", "replay a recorded trace file instead of running experiments (with -fleet N: replay it as the fleet's workload)")
-		fromFlag     = flag.Duration("from", 0, "with -replay: keep only events at or after this trace time")
-		toFlag       = flag.Duration("to", 0, "with -replay: keep only events at or before this trace time (0 = unbounded)")
-		pidFlag      = flag.Int("pid", 0, "with -replay: keep only events of this process id")
-		pcFromFlag   = flag.String("pcfrom", "", "with -replay: keep only I/O events with program counter >= this value (hex with 0x)")
-		pcToFlag     = flag.String("pcto", "", "with -replay: keep only I/O events with program counter <= this value (hex with 0x)")
 		hypoFlag     = flag.String("experiment", "", "run an executable hypothesis from a JSON spec file")
 		fleetFlag    = flag.Int("fleet", 0, "simulate a fleet of N machines instead of running experiments")
 		mixFlag      = flag.String("mix", "", "fleet application mix as app:weight,app:weight (default: all apps, equal weights)")
@@ -84,6 +79,8 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the run) to the given file")
 	)
+	var predFlags cliutil.PredicateFlags
+	predFlags.Register("with -replay: ")
 	flag.Parse()
 	if *parallelFlag < 1 {
 		*parallelFlag = 1
@@ -148,7 +145,7 @@ func main() {
 		return
 	}
 
-	pred, err := parsePredicate(*fromFlag, *toFlag, *pidFlag, *pcFromFlag, *pcToFlag)
+	pred, err := predFlags.Predicate()
 	if err != nil {
 		fatal(err)
 	}
@@ -157,9 +154,9 @@ func main() {
 		if *fleetFlag < 0 {
 			fatal(fmt.Errorf("fleet: machine count must be positive, got %d", *fleetFlag))
 		}
-		mix, err := parseMix(*mixFlag)
+		mix, err := fleet.ParseMix(*mixFlag)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("-mix: %w", err))
 		}
 		cfg := fleet.Config{
 			Machines: *fleetFlag,
@@ -174,12 +171,12 @@ func main() {
 			// the fleet's workload instead of the synthetic generators.
 			fs, err := trace.OpenTraceFileOpts(*replayFlag, trace.OpenOptions{Workers: *parallelFlag, Pred: pred})
 			if err != nil {
-				fatal(err)
+				fatal(cliutil.TraceFileError(*replayFlag, err))
 			}
 			traces, err := trace.Collect(fs)
 			_ = fs.Close() // read-only handle; the decode error below is authoritative
 			if err != nil {
-				fatal(err)
+				fatal(cliutil.TraceFileError(*replayFlag, err))
 			}
 			cfg.Replay = traces
 		}
@@ -206,7 +203,7 @@ func main() {
 		out, err := suite.ReplayFileOpts(*replayFlag, splitList(*policiesFlag),
 			experiments.ReplayOptions{Workers: *parallelFlag, Pred: pred})
 		if err != nil {
-			fatal(err)
+			fatal(cliutil.TraceFileError(*replayFlag, err))
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "pcapsim: replay of %s in %s\n",
@@ -271,53 +268,6 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-// parseMix parses the -mix flag: "app:weight,app:weight", weight
-// defaulting to 1. An empty flag returns nil (the fleet's default mix).
-func parseMix(s string) ([]fleet.AppShare, error) {
-	var mix []fleet.AppShare
-	for _, part := range splitList(s) {
-		name, weightStr, hasWeight := strings.Cut(part, ":")
-		share := fleet.AppShare{Name: strings.TrimSpace(name), Weight: 1}
-		if hasWeight {
-			w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
-			if err != nil {
-				return nil, fmt.Errorf("-mix: bad weight in %q: %w", part, err)
-			}
-			share.Weight = w
-		}
-		mix = append(mix, share)
-	}
-	return mix, nil
-}
-
-// parsePredicate assembles the -from/-to/-pid/-pcfrom/-pcto filter.
-func parsePredicate(from, to time.Duration, pid int, pcFrom, pcTo string) (trace.Predicate, error) {
-	var p trace.Predicate
-	p.From = trace.FromSeconds(from.Seconds())
-	p.To = trace.FromSeconds(to.Seconds())
-	p.Pid = trace.PID(pid)
-	var err error
-	if p.PCFrom, err = parsePC(pcFrom, "-pcfrom"); err != nil {
-		return trace.Predicate{}, err
-	}
-	if p.PCTo, err = parsePC(pcTo, "-pcto"); err != nil {
-		return trace.Predicate{}, err
-	}
-	return p, nil
-}
-
-// parsePC parses a program-counter flag value (decimal or 0x-hex).
-func parsePC(s, flagName string) (trace.PC, error) {
-	if s == "" {
-		return 0, nil
-	}
-	v, err := strconv.ParseUint(s, 0, 32)
-	if err != nil {
-		return 0, fmt.Errorf("%s: bad program counter %q: %w", flagName, s, err)
-	}
-	return trace.PC(v), nil
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pcapsim/internal/cliutil"
 	"pcapsim/internal/experiments"
 	"pcapsim/internal/trace"
 	"pcapsim/internal/workload"
@@ -35,7 +36,7 @@ func main() {
 		appFlag    = flag.String("app", "all", "application name or 'all'")
 		execFlag   = flag.Int("exec", -1, "single execution index (default: all)")
 		seedFlag   = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
-		formatFlag = flag.String("format", "binary", "output format: binary, v2 or text")
+		formatFlag = flag.String("format", "binary", "output trace format: "+cliutil.TraceFormats)
 		outFlag    = flag.String("out", ".", "output directory")
 		noIndex    = flag.Bool("noindex", false, "omit the seekable index footer from v2 files")
 	)
@@ -52,7 +53,7 @@ func main() {
 		apps = []*workload.App{a}
 	}
 	if *formatFlag != "binary" && *formatFlag != "v2" && *formatFlag != "text" {
-		fatal(fmt.Errorf("unknown format %q", *formatFlag))
+		fatal(cliutil.UnknownFormatError(*formatFlag, cliutil.TraceFormats))
 	}
 	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
 		fatal(err)

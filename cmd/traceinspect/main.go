@@ -36,6 +36,7 @@ import (
 	"os"
 	"sort"
 
+	"pcapsim/internal/cliutil"
 	"pcapsim/internal/trace"
 )
 
@@ -43,19 +44,18 @@ func main() {
 	var (
 		headFlag      = flag.Int("head", 0, "print the first N events of each execution as text")
 		breakevenFlag = flag.Float64("breakeven", 5.43, "breakeven time in seconds for idle-period stats")
-		formatFlag    = flag.String("format", "auto", "input format: binary, v2, text or auto")
+		formatFlag    = flag.String("format", "auto", "input trace format: "+cliutil.TraceFormatsAuto)
 		blocksFlag    = flag.Bool("blocks", false, "print per-block stats (v2 columnar files only)")
 		indexFlag     = flag.Bool("index", false, "print and verify the index footer (v2 columnar files only)")
-		fromFlag      = flag.Duration("from", 0, "keep only events at or after this trace time")
-		toFlag        = flag.Duration("to", 0, "keep only events at or before this trace time (0 = unbounded)")
-		pidFlag       = flag.Int("pid", 0, "keep only events of this process id")
 		workersFlag   = flag.Int("workers", 0, "decode v2 blocks with N parallel workers (0 = sequential, -1 = one per CPU)")
 	)
+	var predFlags cliutil.PredicateFlags
+	predFlags.Register("")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: traceinspect [flags] <trace-file>"))
+		fatal(cliutil.MissingTraceError("traceinspect [flags] <trace-file>"))
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := cliutil.OpenTrace(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -72,10 +72,9 @@ func main() {
 		}
 		return
 	}
-	pred := trace.Predicate{
-		From: trace.FromSeconds(fromFlag.Seconds()),
-		To:   trace.FromSeconds(toFlag.Seconds()),
-		Pid:  trace.PID(*pidFlag),
+	pred, err := predFlags.Predicate()
+	if err != nil {
+		fatal(err)
 	}
 	src, err := open(f, *formatFlag, *workersFlag, pred)
 	if err != nil {
@@ -223,7 +222,7 @@ func open(f *os.File, format string, workers int, pred trace.Predicate) (trace.S
 	case "auto":
 		return trace.NewSniffedSource(f)
 	default:
-		return nil, fmt.Errorf("unknown format %q", format)
+		return nil, cliutil.UnknownFormatError(format, cliutil.TraceFormatsAuto)
 	}
 }
 

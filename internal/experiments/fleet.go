@@ -48,34 +48,56 @@ func FleetPolicy(name string, base sim.Config) (func(disk.Params) (sim.Policy, e
 	}, nil
 }
 
-// FleetComparison runs one fleet per named policy over an identical
-// machine population — the same seed fixes every machine's arrival,
-// device and workload, so the runs differ only in policy — and renders
-// each aggregate report followed by a cross-policy summary table. Savings
-// are relative to the always-on Base fleet when it is among the policies,
-// else to the first.
-func FleetComparison(cfg fleet.Config, policyNames []string) (string, error) {
+// FleetResults runs one fleet per named policy over an identical machine
+// population — the same seed fixes every machine's arrival, device and
+// workload, so the runs differ only in policy — and returns one result
+// per policy, in order. Config fields other than Policy pass through
+// untouched, so callers wire Observe (per-machine accounting) and
+// Interrupt (cancellation) straight into the engine.
+func FleetResults(cfg fleet.Config, policyNames []string) ([]*fleet.Result, error) {
+	return FleetResultsObserved(cfg, policyNames, nil)
+}
+
+// FleetResultsObserved is FleetResults with a per-policy completion hook:
+// observe (when non-nil) receives each policy's aggregate result as soon
+// as its fleet run finishes, on the calling goroutine — the daemon's
+// per-policy progress stream.
+func FleetResultsObserved(cfg fleet.Config, policyNames []string, observe func(name string, res *fleet.Result)) ([]*fleet.Result, error) {
 	if len(policyNames) == 0 {
-		return "", fmt.Errorf("experiments: fleet comparison needs at least one policy")
+		return nil, fmt.Errorf("experiments: fleet comparison needs at least one policy")
 	}
-	var b strings.Builder
 	results := make([]*fleet.Result, 0, len(policyNames))
 	for _, name := range policyNames {
 		pf, err := FleetPolicy(name, cfg.Base)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		c := cfg
 		c.Policy = pf
 		f, err := fleet.New(c)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		res, err := f.Run()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		results = append(results, res)
+		if observe != nil {
+			observe(name, res)
+		}
+	}
+	return results, nil
+}
+
+// RenderFleetComparison renders per-policy fleet results as each
+// aggregate report followed by a cross-policy summary table. Savings are
+// relative to the always-on Base fleet when it is among the policies,
+// else to the first. policyNames must be the list the results were run
+// under, in the same order.
+func RenderFleetComparison(policyNames []string, results []*fleet.Result) string {
+	var b strings.Builder
+	for _, res := range results {
 		b.WriteString(res.Render())
 		b.WriteString("\n")
 	}
@@ -101,5 +123,15 @@ func FleetComparison(cfg fleet.Config, policyNames []string) (string, error) {
 			res.Policy, res.Energy.Total(), saved,
 			res.Global.Shutdowns(), hitPct, res.Wakeups, res.WaitTime.Seconds())
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// FleetComparison is FleetResults followed by RenderFleetComparison —
+// the CLI's -fleet output.
+func FleetComparison(cfg fleet.Config, policyNames []string) (string, error) {
+	results, err := FleetResults(cfg, policyNames)
+	if err != nil {
+		return "", err
+	}
+	return RenderFleetComparison(policyNames, results), nil
 }

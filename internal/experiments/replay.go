@@ -55,32 +55,68 @@ func (s *Suite) PolicyByName(name string) (sim.Policy, bool) {
 	}
 }
 
-// ReplaySource runs every named policy over the source and renders one
-// result row per policy. The source is Reset between policies, so it must
-// be resettable (file-backed sources are). Energy savings are reported
-// against the first policy's energy, so leading with "base" gives the
-// paper's savings-versus-always-on numbers.
-func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error) {
+// DefaultReplayPolicies is the policy list replay runs use when none is
+// given: the paper's base/timeout/PCAP/oracle comparison.
+var DefaultReplayPolicies = []string{"base", "tp", "pcap", "ideal"}
+
+// ReplayRow is one policy's outcome in a replay run: the resolved policy
+// name and the full simulation result. Rows are data, not presentation —
+// RenderReplayRows turns a row slice into the comparison table, and the
+// simulation daemon accounts energy and event totals straight off the
+// Result fields.
+type ReplayRow struct {
+	Policy string
+	Result *sim.AppResult
+}
+
+// ReplayRows runs every named policy over the source and returns one row
+// per policy, in order. The source is Reset between policies, so it must
+// be resettable (file-backed sources are).
+func (s *Suite) ReplayRows(src trace.Source, policies []string) ([]ReplayRow, error) {
+	return s.ReplayRowsObserved(src, policies, nil)
+}
+
+// ReplayRowsObserved is ReplayRows with a per-policy completion hook:
+// observe (when non-nil) receives each row as soon as its policy's run
+// finishes, on the calling goroutine — the daemon's per-policy progress
+// stream. The returned rows are identical to ReplayRows'.
+func (s *Suite) ReplayRowsObserved(src trace.Source, policies []string, observe func(ReplayRow)) ([]ReplayRow, error) {
 	if len(policies) == 0 {
-		policies = []string{"base", "tp", "pcap", "ideal"}
+		policies = DefaultReplayPolicies
 	}
-	tbl := newTable("Policy", "Execs", "I/Os", "Disk", "Energy (J)", "Savings", "Shutdowns", "Wakeups", "Wait (s)")
-	var baseline float64
+	rows := make([]ReplayRow, 0, len(policies))
 	for i, name := range policies {
 		pol, ok := s.PolicyByName(name)
 		if !ok {
-			return "", fmt.Errorf("experiments: unknown policy %q (known: %s)",
+			return nil, fmt.Errorf("experiments: unknown policy %q (known: %s)",
 				name, strings.Join(replayPolicyNames, ", "))
 		}
 		if i > 0 {
 			if err := src.Reset(); err != nil {
-				return "", fmt.Errorf("experiments: resetting trace source: %w", err)
+				return nil, fmt.Errorf("experiments: resetting trace source: %w", err)
 			}
 		}
 		res, err := s.runner.RunSource(src, pol)
 		if err != nil {
-			return "", fmt.Errorf("experiments: replay under %s: %w", pol.Name, err)
+			return nil, fmt.Errorf("experiments: replay under %s: %w", pol.Name, err)
 		}
+		row := ReplayRow{Policy: pol.Name, Result: res}
+		rows = append(rows, row)
+		if observe != nil {
+			observe(row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderReplayRows renders replay rows as the policy comparison table.
+// Energy savings are reported against the first row's energy, so leading
+// with "base" gives the paper's savings-versus-always-on numbers.
+func RenderReplayRows(rows []ReplayRow) string {
+	tbl := newTable("Policy", "Execs", "I/Os", "Disk", "Energy (J)", "Savings", "Shutdowns", "Wakeups", "Wait (s)")
+	var baseline float64
+	for i, row := range rows {
+		res := row.Result
 		total := res.Energy.Total()
 		savings := "—"
 		if i == 0 {
@@ -88,7 +124,7 @@ func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error
 		} else if baseline > 0 {
 			savings = pct(1 - total/baseline)
 		}
-		tbl.Row(pol.Name,
+		tbl.Row(row.Policy,
 			fmt.Sprintf("%d", res.Executions),
 			fmt.Sprintf("%d", res.TotalIOs),
 			fmt.Sprintf("%d", res.DiskAccesses),
@@ -98,7 +134,17 @@ func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error
 			fmt.Sprintf("%d", res.Wakeups),
 			fmt.Sprintf("%.1f", res.WaitTime.Seconds()))
 	}
-	return tbl.String(), nil
+	return tbl.String()
+}
+
+// ReplaySource runs every named policy over the source and renders one
+// result row per policy — ReplayRows followed by RenderReplayRows.
+func (s *Suite) ReplaySource(src trace.Source, policies []string) (string, error) {
+	rows, err := s.ReplayRows(src, policies)
+	if err != nil {
+		return "", err
+	}
+	return RenderReplayRows(rows), nil
 }
 
 // ReplayOptions tune how ReplayFileOpts decodes the trace before it

@@ -230,6 +230,11 @@ func (f *Fleet) runShard(ids []int, results []sim.AppResult) error {
 	var h eventHeap
 	ai := 0
 	for ai < len(arr) || len(h) > 0 {
+		if f.cfg.Interrupt != nil {
+			if err := f.cfg.Interrupt(); err != nil {
+				return fmt.Errorf("fleet: interrupted: %w", err)
+			}
+		}
 		// Admit every machine whose arrival does not come after the next
 		// scheduled event: the shard clock is min(next arrival, heap min),
 		// and state materializes only when the clock reaches the arrival.

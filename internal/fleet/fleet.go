@@ -110,6 +110,12 @@ type Config struct {
 	// calling goroutine. The pointed-to result is owned by the engine;
 	// copy it to retain it.
 	Observe func(id int, res *sim.AppResult)
+	// Interrupt, if non-nil, is polled by every shard between machine
+	// advances; a non-nil return aborts the run with that error. Wire
+	// ctx.Err here to make a fleet run cancelable (the daemon's per-job
+	// timeouts and client disconnects). Interrupt must be safe for
+	// concurrent calls and cheap — it runs on the shard hot loop.
+	Interrupt func() error
 }
 
 // Spec is one machine's derived identity: everything that makes machine

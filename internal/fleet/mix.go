@@ -1,0 +1,34 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMix parses an application-mix string of the form
+// "app:weight,app:weight" into Config.Mix shares. Weights default to 1
+// when omitted ("mozilla,xemacs" is two equal shares); blanks around
+// commas and colons are ignored. The empty string returns nil — the
+// fleet's default mix (all registered applications, equally weighted).
+// Both the pcapsim -mix flag and pcapd job specs parse through here, so
+// the two front ends accept the identical syntax.
+func ParseMix(s string) ([]AppShare, error) {
+	var mix []AppShare
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		share := AppShare{Name: strings.TrimSpace(name), Weight: 1}
+		if hasWeight {
+			w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: bad weight in mix entry %q: %w", part, err)
+			}
+			share.Weight = w
+		}
+		mix = append(mix, share)
+	}
+	return mix, nil
+}

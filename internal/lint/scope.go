@@ -9,17 +9,19 @@ import "strings"
 // deliberately outside (a CLI may read the clock for progress output, and
 // internal/rng is the one sanctioned randomness seam).
 var resultAffectingPackages = map[string]bool{
-	"internal/sim":         true,
-	"internal/core":        true,
-	"internal/fscache":     true,
-	"internal/experiments": true,
-	"internal/workload":    true,
-	"internal/trace":       true,
-	"internal/predictor":   true,
-	"internal/prefetch":    true,
-	"internal/ltree":       true,
-	"internal/hypothesis":  true,
-	"internal/fleet":       true,
+	"internal/sim":          true,
+	"internal/core":         true,
+	"internal/fscache":      true,
+	"internal/experiments":  true,
+	"internal/workload":     true,
+	"internal/trace":        true,
+	"internal/predictor":    true,
+	"internal/prefetch":     true,
+	"internal/ltree":        true,
+	"internal/hypothesis":   true,
+	"internal/fleet":        true,
+	"internal/server":       true,
+	"internal/server/stats": true,
 }
 
 // resultAffecting reports whether the module-relative package path is in

@@ -7,14 +7,18 @@ import "testing"
 // harness, which feeds verdicts from simulation results, and the
 // parallel decode pipeline in internal/trace, whose worker/reorder
 // pool handoffs poolsafe vets) is covered by detmap/nondet-source,
-// while the sanctioned exceptions stay out. The decode pipeline's CLI
-// consumers (tracegen, traceinspect, pcapsim) stay outside — they only
-// render what the in-scope packages produce.
+// while the sanctioned exceptions stay out. The pcapd server packages
+// are in scope too: a server job's output carries the same determinism
+// contract as a CLI run (byte-identical at any pool size), so handler
+// and counter code must not smuggle wall-clock or map-order state into
+// results, and poolsafe vets the pooled job-context ownership. The
+// decode pipeline's CLI consumers (tracegen, traceinspect, pcapsim)
+// stay outside — they only render what the in-scope packages produce.
 func TestResultAffectingScope(t *testing.T) {
 	for _, p := range []string{
 		"internal/sim", "internal/trace", "internal/experiments",
 		"internal/hypothesis", "internal/workload", "internal/predictor",
-		"internal/fleet",
+		"internal/fleet", "internal/server", "internal/server/stats",
 	} {
 		if !resultAffecting(p) {
 			t.Errorf("%s not in the result-affecting scope", p)
@@ -22,7 +26,7 @@ func TestResultAffectingScope(t *testing.T) {
 	}
 	for _, p := range []string{
 		"internal/rng", "cmd/pcapsim", "cmd/tracegen", "cmd/traceinspect",
-		"internal/lint",
+		"cmd/pcapd", "cmd/pcapload", "internal/lint",
 	} {
 		if resultAffecting(p) {
 			t.Errorf("%s must stay outside the result-affecting scope", p)
@@ -31,7 +35,10 @@ func TestResultAffectingScope(t *testing.T) {
 }
 
 func TestErrcheckScope(t *testing.T) {
-	for _, p := range []string{"internal/trace", "internal/persist", "cmd/benchjson"} {
+	for _, p := range []string{
+		"internal/trace", "internal/persist", "cmd/benchjson",
+		"cmd/pcapd", "cmd/pcapload",
+	} {
 		if !errcheckScope(p) {
 			t.Errorf("%s not in the errcheck-lite scope", p)
 		}

@@ -1,0 +1,468 @@
+// Package server is pcapd's HTTP daemon: simulation as a service.
+//
+// The daemon accepts policy-evaluation, trace-replay and fleet jobs as
+// JSON, runs them on a bounded pool of workers with pooled, reusable job
+// contexts, and returns the exact same rendered reports the pcapsim CLI
+// prints — byte for byte, at any worker count. Three design rules keep it
+// honest:
+//
+//   - Determinism across the network boundary. A job's Output string is
+//     produced by the same library entry points the CLI calls
+//     (experiments.ReplayRows/RenderReplayRows and experiments.FleetResults/
+//     RenderFleetComparison), over the same sources, so a server response
+//     is byte-identical to the equivalent local run. The differential
+//     tests pin this.
+//
+//   - Pooled job contexts. Workers draw a jobContext — memoized
+//     experiment suites plus a private stats shard — from a sync.Pool and
+//     return it when the job ends, extending the runState pooling
+//     discipline (DESIGN.md §10) to whole jobs: a burst of jobs against
+//     the same seed reuses generated workloads instead of regenerating
+//     them per request.
+//
+//   - Contention-free live counters. Per-job accounting flows through
+//     internal/server/stats Local shards (VSA-style delta coalescing) and
+//     commits to one global atomic view, so /stats stays cheap to serve
+//     and free of hot-path contention no matter how many workers run.
+//
+// Cancellation is cooperative and complete: every job runs under a
+// context bounded by its own timeout, a cancel endpoint, and — for
+// synchronous requests — the client connection, and that context is
+// threaded through the simulation itself (the meter source for
+// eval/replay, fleet.Config.Interrupt for fleets), so a disconnected
+// client frees its worker and pooled context promptly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"pcapsim/internal/experiments"
+	"pcapsim/internal/server/stats"
+	"pcapsim/internal/sim"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the job worker pool size; 0 defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 503. 0 defaults to 64.
+	QueueDepth int
+	// DefaultTimeout bounds jobs whose spec carries no timeout_sec;
+	// 0 defaults to 5 minutes.
+	DefaultTimeout time.Duration
+	// TraceDir is the root for trace path references in job specs.
+	// Empty means path references are rejected (uploads still work).
+	TraceDir string
+}
+
+// Server is the pcapd daemon: an http.Handler plus the worker pool
+// behind it. Construct with New, serve via Handler, stop via Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	queue    chan *Job
+	ctxPool  sync.Pool
+	counters stats.Counters
+
+	// baseCtx parents every job context; cancel it to abort running jobs.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string // job IDs in submission order, for deterministic listings
+	jobSeq   int
+	uploads  map[string]string // upload ID -> stored file path
+	upSeq    int
+	upDir    string // lazily created upload directory
+	draining bool
+
+	wg sync.WaitGroup // running workers
+}
+
+// New validates cfg, starts the worker pool, and returns the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+		uploads:   make(map[string]string),
+	}
+	s.ctxPool.New = func() any {
+		return &jobContext{
+			suites: make(map[suiteKey]*experiments.Suite),
+			local:  stats.NewLocal(&s.counters, stats.Options{MaxLag: time.Second}),
+		}
+	}
+	s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the server's configuration after defaulting.
+func (s *Server) Config() Config { return s.cfg }
+
+// Counters exposes the live counter view (tests, /stats).
+func (s *Server) Counters() *stats.Counters { return &s.counters }
+
+// worker is one pool goroutine: it drains the job queue until the queue
+// closes, running each job inside a pooled jobContext.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job inside a pooled context. The jobContext is
+// drawn from and returned to the pool here — never retained past the
+// job — and its stats shard is flushed before the context goes back, so
+// a parked context holds no uncommitted counter deltas.
+func (s *Server) runJob(job *Job) {
+	jc := s.ctxPool.Get().(*jobContext)
+	defer s.ctxPool.Put(jc)
+	defer jc.local.Flush()
+
+	if !job.start() {
+		return // canceled while queued
+	}
+	s.counters.JobStarted()
+
+	timeout := s.cfg.DefaultTimeout
+	if job.Spec.TimeoutSec > 0 {
+		timeout = time.Duration(job.Spec.TimeoutSec * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	job.bindCancel(cancel)
+	out, err := s.execute(ctx, job, jc)
+	cancel()
+
+	switch {
+	case err == nil:
+		job.finish(StateDone, out, "")
+		s.counters.JobDone(false)
+	case errors.Is(err, context.Canceled):
+		job.finish(StateCanceled, "", "canceled: "+err.Error())
+		s.counters.JobDone(true)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateFailed, "", fmt.Sprintf("timeout after %s: %v", timeout, err))
+		s.counters.JobDone(true)
+	default:
+		job.finish(StateFailed, "", err.Error())
+		s.counters.JobDone(true)
+	}
+}
+
+// suiteKey identifies a reusable experiment suite inside a jobContext.
+// Scale is part of the key because a Suite memoizes results per scale.
+type suiteKey struct {
+	seed  uint64
+	scale int
+}
+
+// maxPooledSuites bounds a parked context's memoized suites so a pool of
+// contexts cannot accumulate one workload cache per distinct seed ever
+// seen.
+const maxPooledSuites = 8
+
+// jobContext is one worker's reusable job state: memoized experiment
+// suites keyed by (seed, scale) and a private stats shard. It is
+// single-owner while held — exactly a pooled runState writ large — and
+// crosses goroutines only through the pool's happens-before edges.
+type jobContext struct {
+	suites map[suiteKey]*experiments.Suite
+	local  *stats.Local
+}
+
+// suite returns the context's memoized suite for (seed, scale), building
+// it on first use.
+func (jc *jobContext) suite(seed uint64, scale int) (*experiments.Suite, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	key := suiteKey{seed: seed, scale: scale}
+	if st, ok := jc.suites[key]; ok {
+		return st, nil
+	}
+	st, err := experiments.NewSuite(seed, sim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	st.SetScale(scale)
+	if len(jc.suites) >= maxPooledSuites {
+		clear(jc.suites)
+	}
+	jc.suites[key] = st
+	return st, nil
+}
+
+// routes installs the HTTP surface.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /traces", s.handleUpload)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// handleSubmit accepts a job spec. With ?wait=1 the response is written
+// only when the job finishes (and a client disconnect cancels it);
+// otherwise the job is accepted with 202 and polled via /jobs/{id}.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	if err := spec.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.enqueue(&spec)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") != "1" {
+		writeJSON(w, http.StatusAccepted, job.view())
+		return
+	}
+	// Synchronous mode: the job lives and dies with this request — a
+	// client that hangs up takes its job (and the worker slot it holds)
+	// down with it.
+	stop := context.AfterFunc(r.Context(), func() {
+		job.Cancel("client disconnected")
+	})
+	defer stop()
+	<-job.Done()
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// enqueue registers a job and places it on the bounded queue.
+func (s *Server) enqueue(spec *JobSpec) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errors.New("server is shutting down")
+	}
+	s.jobSeq++
+	job := newJob(fmt.Sprintf("j%d", s.jobSeq), spec)
+	select {
+	case s.queue <- job:
+	default:
+		s.jobSeq--
+		return nil, fmt.Errorf("job queue full (%d queued)", cap(s.queue))
+	}
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	return job, nil
+}
+
+// job looks up a registered job.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job.Cancel("canceled by request")
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// handleUpload stores a raw trace file (any on-disk format) and returns
+// its reference ID for job specs.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	dir, err := s.uploadDir()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	f, err := os.CreateTemp(dir, "trace-*")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	_, cpErr := io.Copy(f, r.Body)
+	clErr := f.Close()
+	if cpErr == nil {
+		cpErr = clErr
+	}
+	if cpErr != nil {
+		_ = os.Remove(f.Name()) //pcaplint:ignore errcheck-lite best-effort cleanup of a failed upload; the copy error below is authoritative
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("storing trace: %v", cpErr))
+		return
+	}
+	s.mu.Lock()
+	s.upSeq++
+	id := "t" + strconv.Itoa(s.upSeq)
+	s.uploads[id] = f.Name()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// uploadDir lazily creates the server's upload directory.
+func (s *Server) uploadDir() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.upDir != "" {
+		return s.upDir, nil
+	}
+	dir, err := os.MkdirTemp("", "pcapd-uploads-")
+	if err != nil {
+		return "", fmt.Errorf("creating upload dir: %w", err)
+	}
+	s.upDir = dir
+	return dir, nil
+}
+
+// resolveTrace maps a job spec's trace reference to an on-disk path:
+// upload IDs first, then paths inside Config.TraceDir. Path references
+// must stay inside the trace directory.
+func (s *Server) resolveTrace(ref string) (string, error) {
+	s.mu.Lock()
+	path, ok := s.uploads[ref]
+	s.mu.Unlock()
+	if ok {
+		return path, nil
+	}
+	if s.cfg.TraceDir == "" {
+		return "", fmt.Errorf("unknown trace reference %q (no upload by that ID, and the server has no trace directory)", ref)
+	}
+	if !filepath.IsLocal(ref) {
+		return "", fmt.Errorf("trace reference %q escapes the trace directory", ref)
+	}
+	return filepath.Join(s.cfg.TraceDir, ref), nil
+}
+
+// statsView is the /stats response: the live counter snapshot plus the
+// pool's occupancy.
+type statsView struct {
+	stats.Snapshot
+	Workers int `json:"workers"`
+	Queued  int `json:"queued"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsView{
+		Snapshot: s.counters.Snapshot(),
+		Workers:  s.cfg.Workers,
+		Queued:   len(s.queue),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n") //pcaplint:ignore errcheck-lite health probe response; a failed write only matters to the prober
+}
+
+// Shutdown drains the server: new submissions are rejected immediately,
+// queued and running jobs are given until ctx expires to finish, then
+// running jobs are canceled and the pool is awaited. After Shutdown
+// returns, no worker goroutine remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue) // workers exit once the backlog drains
+	}
+	s.mu.Unlock()
+	if already {
+		return errors.New("server: Shutdown called twice")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: cancel every running job and wait for the pool
+		// to notice.
+		s.cancelAll()
+		<-done
+		err = ctx.Err()
+	}
+	s.removeUploads()
+	return err
+}
+
+// removeUploads deletes the upload directory, if one was created.
+func (s *Server) removeUploads() {
+	s.mu.Lock()
+	dir := s.upDir
+	s.upDir = ""
+	s.mu.Unlock()
+	if dir != "" {
+		_ = os.RemoveAll(dir) //pcaplint:ignore errcheck-lite best-effort cleanup of temp uploads at shutdown
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeJSON writes v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) //pcaplint:ignore errcheck-lite response write failure means the client went away; nothing to report to
+}

@@ -1,0 +1,568 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pcapsim/internal/experiments"
+	"pcapsim/internal/fleet"
+	"pcapsim/internal/sim"
+	"pcapsim/internal/trace"
+	"pcapsim/internal/workload"
+)
+
+// newTestServer starts a server over a real TCP listener (httptest) so
+// requests cross an actual network boundary, and tears it down with the
+// test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, hs
+}
+
+// submitWait posts a job spec with ?wait=1 and decodes the final view.
+func submitWait(t *testing.T, base string, spec JobSpec) View {
+	t.Helper()
+	v, status := submitWaitStatus(t, base, spec)
+	if status != http.StatusOK {
+		t.Fatalf("POST /jobs?wait=1 status %d: %+v", status, v)
+	}
+	return v
+}
+
+func submitWaitStatus(t *testing.T, base string, spec JobSpec) (View, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil && resp.StatusCode == http.StatusOK {
+		t.Fatalf("decoding job view: %v", err)
+	}
+	return v, resp.StatusCode
+}
+
+// submitAsync posts a job spec without waiting and returns its view.
+func submitAsync(t *testing.T, base string, spec JobSpec) View {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs status %d: %s", resp.StatusCode, b)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// getJob polls a job's view.
+func getJob(t *testing.T, base, id string) View {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// writeTraceFile writes nedit's generated workload as a v2 columnar
+// file and returns its path. Small but real: every policy sees the same
+// executions the generator produces.
+func writeTraceFile(t *testing.T, dir string) string {
+	t.Helper()
+	app, _ := workload.ByName("nedit")
+	suite, err := experiments.NewSuite(experiments.DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tr := range suite.Traces(app) {
+		if err := trace.WriteColumnar(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "nedit.pct2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// evalPolicies keeps test jobs fast.
+var evalPolicies = []string{"base", "tp", "pcap"}
+
+// TestEvalMatchesLocalAtAnyPoolSize is the determinism contract across
+// the network boundary: an eval job's Output must be byte-identical to
+// the local library run, at every worker-pool size.
+func TestEvalMatchesLocalAtAnyPoolSize(t *testing.T) {
+	suite, err := experiments.NewSuite(experiments.DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("nedit")
+	rows, err := suite.ReplayRows(suite.SourceFor(app), evalPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("eval %s\n\n%s", "nedit", experiments.RenderReplayRows(rows))
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, hs := newTestServer(t, Config{Workers: workers})
+			v := submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: evalPolicies})
+			if v.State != StateDone {
+				t.Fatalf("state = %q, error = %q", v.State, v.Error)
+			}
+			if v.Output != want {
+				t.Errorf("server output differs from local run:\n--- server ---\n%s\n--- local ---\n%s", v.Output, want)
+			}
+		})
+	}
+}
+
+// TestReplayMatchesLocal covers both trace reference styles — an upload
+// and a path inside the server's trace directory — against the local
+// ReplayFileOpts rendering, including a predicate and parallel decode.
+func TestReplayMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTraceFile(t, dir)
+	suite, err := experiments.NewSuite(experiments.DefaultSeed, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, hs := newTestServer(t, Config{Workers: 2, TraceDir: dir})
+
+	t.Run("path", func(t *testing.T) {
+		want, err := suite.ReplayFileOpts(path, evalPolicies, experiments.ReplayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := submitWait(t, hs.URL, JobSpec{Kind: KindReplay, Trace: "nedit.pct2", Policies: evalPolicies})
+		if v.State != StateDone {
+			t.Fatalf("state = %q, error = %q", v.State, v.Error)
+		}
+		if v.Output != want {
+			t.Errorf("server replay differs from local:\n--- server ---\n%s\n--- local ---\n%s", v.Output, want)
+		}
+	})
+
+	t.Run("upload", func(t *testing.T) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(hs.URL+"/traces", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var up struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&up)
+		resp.Body.Close()
+		if err != nil || up.ID == "" {
+			t.Fatalf("upload: id=%q err=%v", up.ID, err)
+		}
+		// The server renders the upload's stored path; replay that same
+		// path locally.
+		storedPath, err := srv.resolveTrace(up.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := suite.ReplayFileOpts(storedPath, evalPolicies, experiments.ReplayOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := submitWait(t, hs.URL, JobSpec{Kind: KindReplay, Trace: up.ID, Policies: evalPolicies, Workers: 2})
+		if v.State != StateDone {
+			t.Fatalf("state = %q, error = %q", v.State, v.Error)
+		}
+		if v.Output != want {
+			t.Errorf("server replay differs from local:\n--- server ---\n%s\n--- local ---\n%s", v.Output, want)
+		}
+	})
+
+	t.Run("predicate", func(t *testing.T) {
+		pred := trace.Predicate{To: 30 * trace.Second}
+		want, err := suite.ReplayFileOpts(path, evalPolicies, experiments.ReplayOptions{Pred: pred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := submitWait(t, hs.URL, JobSpec{Kind: KindReplay, Trace: "nedit.pct2", Policies: evalPolicies, ToSec: 30})
+		if v.State != StateDone {
+			t.Fatalf("state = %q, error = %q", v.State, v.Error)
+		}
+		if v.Output != want {
+			t.Errorf("server replay with predicate differs from local:\n--- server ---\n%s\n--- local ---\n%s", v.Output, want)
+		}
+	})
+}
+
+// TestFleetMatchesLocal pins fleet jobs to the local FleetComparison
+// rendering.
+func TestFleetMatchesLocal(t *testing.T) {
+	policies := []string{"base", "tp"}
+	cfg := fleet.Config{
+		Machines: 20,
+		Seed:     experiments.DefaultSeed,
+		Session:  trace.FromSeconds(120),
+		Workers:  2,
+	}
+	want, err := experiments.FleetComparison(cfg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{Workers: 2})
+	v := submitWait(t, hs.URL, JobSpec{
+		Kind: KindFleet, Machines: 20, DurationSec: 120, Policies: policies, Workers: 2,
+	})
+	if v.State != StateDone {
+		t.Fatalf("state = %q, error = %q", v.State, v.Error)
+	}
+	if v.Output != want {
+		t.Errorf("server fleet differs from local:\n--- server ---\n%s\n--- local ---\n%s", v.Output, want)
+	}
+	if v.Machines != 20*int64(len(policies)) {
+		t.Errorf("Machines progress = %d, want %d", v.Machines, 20*len(policies))
+	}
+}
+
+// TestConcurrentJobsExactCounters is the server-level exactness test:
+// many identical jobs race across the pool (run under -race by ci.sh),
+// and the coalesced global counters must equal per-job totals times the
+// job count — no delta lost or doubled across pooled contexts.
+func TestConcurrentJobsExactCounters(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+
+	// One reference job fixes the per-job totals.
+	ref := submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: evalPolicies, Execs: 5})
+	if ref.State != StateDone {
+		t.Fatalf("reference job: state = %q, error = %q", ref.State, ref.Error)
+	}
+	if ref.Events == 0 || ref.Execs == 0 || ref.EnergyJ == 0 {
+		t.Fatalf("reference job reported no progress: %+v", ref)
+	}
+
+	const extra = 12
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: evalPolicies, Execs: 5})
+			if v.State != StateDone {
+				t.Errorf("job state = %q, error = %q", v.State, v.Error)
+			}
+			if v.Events != ref.Events || v.Execs != ref.Execs || v.EnergyJ != ref.EnergyJ {
+				t.Errorf("job progress %+v differs from reference %+v", v, ref)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := srv.Counters().Snapshot()
+	const jobs = extra + 1
+	if want := ref.Events * jobs; snap.Events != want {
+		t.Errorf("global Events = %d, want %d", snap.Events, want)
+	}
+	if want := ref.Execs * jobs; snap.Execs != want {
+		t.Errorf("global Execs = %d, want %d", snap.Execs, want)
+	}
+	if snap.JobsStarted != jobs || snap.JobsDone != jobs || snap.JobsFailed != 0 {
+		t.Errorf("job counters: %+v, want %d started/done, 0 failed", snap, jobs)
+	}
+	if snap.Commits == 0 || snap.Commits >= snap.Adds {
+		t.Errorf("Commits = %d for %d adds; coalescing not effective", snap.Commits, snap.Adds)
+	}
+	// Energy sums float deltas in scheduling order; per-policy totals are
+	// identical across identical jobs, so the global total still must be
+	// an exact multiple (each job contributes the same finite partials).
+	if want := ref.EnergyJ * jobs; snap.EnergyJ < want*0.999999 || snap.EnergyJ > want*1.000001 {
+		t.Errorf("global EnergyJ = %g, want ~%g", snap.EnergyJ, want)
+	}
+}
+
+// TestClientDisconnectCancelsJob: a synchronous client that hangs up
+// mid-job must cancel it, and the worker (plus its pooled context) must
+// come back to serve later jobs.
+func TestClientDisconnectCancelsJob(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 1})
+
+	body, err := json.Marshal(JobSpec{Kind: KindFleet, Machines: 5000, DurationSec: 1800, Policies: []string{"base", "tp", "pcap", "ideal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/jobs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait until the job is running, then hang up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		if j, ok := srv.job("j1"); ok {
+			j.mu.Lock()
+			running := j.state == StateRunning
+			j.mu.Unlock()
+			if running {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Error("expected the canceled request to error")
+	}
+
+	// The job must reach canceled, not run to completion.
+	j, _ := srv.job("j1")
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not wind down after client disconnect")
+	}
+	if v := j.view(); v.State != StateCanceled {
+		t.Errorf("state = %q after disconnect, want %q (error %q)", v.State, StateCanceled, v.Error)
+	}
+
+	// The single worker is free again: a follow-up job completes.
+	v := submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: []string{"base"}, Execs: 2})
+	if v.State != StateDone {
+		t.Errorf("follow-up job state = %q, error = %q", v.State, v.Error)
+	}
+	if snap := srv.Counters().Snapshot(); snap.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1 (the canceled job)", snap.JobsFailed)
+	}
+}
+
+// TestJobTimeout: a job whose own timeout elapses fails with a timeout
+// error and frees its worker.
+func TestJobTimeout(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	v := submitWait(t, hs.URL, JobSpec{
+		Kind: KindFleet, Machines: 20000, DurationSec: 1800,
+		Policies: []string{"base", "tp", "pcap", "ideal"}, TimeoutSec: 0.05,
+	})
+	if v.State != StateFailed || !strings.Contains(v.Error, "timeout") {
+		t.Fatalf("state = %q, error = %q; want failed with timeout", v.State, v.Error)
+	}
+	// Worker is free for real work afterwards.
+	v = submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: []string{"base"}, Execs: 2})
+	if v.State != StateDone {
+		t.Errorf("follow-up job state = %q, error = %q", v.State, v.Error)
+	}
+}
+
+// TestCancelEndpointAndSSE cancels an async job via the cancel endpoint
+// while following its event stream, and checks the stream terminates
+// with a canceled event.
+func TestCancelEndpointAndSSE(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	v := submitAsync(t, hs.URL, JobSpec{
+		Kind: KindFleet, Machines: 5000, DurationSec: 1800,
+		Policies: []string{"base", "tp", "pcap", "ideal"},
+	})
+
+	resp, err := http.Get(hs.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	cresp, err := http.Post(hs.URL+"/jobs/"+v.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+
+	stream, err := io.ReadAll(resp.Body) // returns once the job terminates
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stream), "event: canceled") {
+		t.Errorf("SSE stream missing terminal canceled event:\n%s", stream)
+	}
+	final := getJob(t, hs.URL, v.ID)
+	if final.State != StateCanceled {
+		t.Errorf("state = %q, want canceled (error %q)", final.State, final.Error)
+	}
+}
+
+// TestQueueBoundsAndValidation: bad specs are rejected up front, and a
+// full queue answers 503 without accepting the job.
+func TestQueueBoundsAndValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	for _, spec := range []JobSpec{
+		{Kind: "nope"},
+		{Kind: KindEval},                 // missing app
+		{Kind: KindEval, App: "mystery"}, // unknown app
+		{Kind: KindReplay},               // missing trace
+		{Kind: KindFleet},                // missing machines
+		{Kind: KindEval, App: "nedit", Execs: -1},
+	} {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %+v: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+
+	// Saturate: one long job occupies the worker, one sits in the queue;
+	// the next submission must bounce with 503.
+	long := JobSpec{Kind: KindFleet, Machines: 5000, DurationSec: 1800, Policies: []string{"base", "tp", "pcap", "ideal"}}
+	running := submitAsync(t, hs.URL, long)
+	queued := submitAsync(t, hs.URL, long)
+	body, _ := json.Marshal(long)
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overflow submission: status %d, want 503", resp.StatusCode)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		cresp, err := http.Post(hs.URL+"/jobs/"+id+"/cancel", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cresp.Body.Close()
+	}
+}
+
+// TestTraceDirEscapeRejected: path references cannot leave the trace
+// directory.
+func TestTraceDirEscapeRejected(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := newTestServer(t, Config{Workers: 1, TraceDir: dir})
+	v := submitWait(t, hs.URL, JobSpec{Kind: KindReplay, Trace: "../etc/passwd", Policies: []string{"base"}})
+	if v.State != StateFailed || !strings.Contains(v.Error, "escapes") {
+		t.Errorf("state = %q, error = %q; want failed escape error", v.State, v.Error)
+	}
+}
+
+// TestGracefulShutdown: Shutdown rejects new work, finishes the backlog,
+// and leaves no workers behind.
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	v := submitAsync(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: []string{"base"}, Execs: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The queued job ran to completion during the drain.
+	j, ok := srv.job(v.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got := j.view(); got.State != StateDone {
+		t.Errorf("drained job state = %q, error = %q", got.State, got.Error)
+	}
+
+	// New submissions bounce.
+	body, _ := json.Marshal(JobSpec{Kind: KindEval, App: "nedit", Policies: []string{"base"}})
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submission: status %d, want 503", resp.StatusCode)
+	}
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("second Shutdown should report an error")
+	}
+}
+
+// TestStatsEndpoint sanity-checks the /stats payload.
+func TestStatsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 3})
+	submitWait(t, hs.URL, JobSpec{Kind: KindEval, App: "nedit", Policies: []string{"base"}, Execs: 2})
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sv statsView
+	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Workers != 3 || sv.JobsDone != 1 || sv.Events == 0 {
+		t.Errorf("stats view: %+v", sv)
+	}
+}

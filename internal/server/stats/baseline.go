@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Measured baselines for the coalescing design. Both implement the same
+// counting surface as a Local-over-Counters pair but pay shared-state
+// synchronization on every add — the designs pcapd deliberately does
+// not use on its hot path. They are kept as first-class code (not test
+// fixtures) so the counter micro-benchmarks and the exactness tests can
+// compare all three side by side, and so the recorded overhead numbers
+// in EXPERIMENTS.md stay reproducible against the very code they
+// measured.
+
+// AtomicCounters is the naive shared-atomic design: every add is an
+// atomic RMW on globally shared cache lines (a CAS loop for the float).
+type AtomicCounters struct {
+	events     atomic.Int64
+	execs      atomic.Int64
+	energyBits atomic.Uint64
+}
+
+// AddEvents records n simulated events.
+func (a *AtomicCounters) AddEvents(n int64) { a.events.Add(n) }
+
+// AddExecs records n simulated executions.
+func (a *AtomicCounters) AddExecs(n int64) { a.execs.Add(n) }
+
+// AddEnergy records j joules.
+func (a *AtomicCounters) AddEnergy(j float64) { addFloat(&a.energyBits, j) }
+
+// Events returns the event total.
+func (a *AtomicCounters) Events() int64 { return a.events.Load() }
+
+// Execs returns the execution total.
+func (a *AtomicCounters) Execs() int64 { return a.execs.Load() }
+
+// EnergyJ returns the energy total.
+func (a *AtomicCounters) EnergyJ() float64 { return math.Float64frombits(a.energyBits.Load()) }
+
+// MutexCounters is the lock-per-add design.
+type MutexCounters struct {
+	mu     sync.Mutex
+	events int64
+	execs  int64
+	energy float64
+}
+
+// AddEvents records n simulated events.
+func (m *MutexCounters) AddEvents(n int64) {
+	m.mu.Lock()
+	m.events += n
+	m.mu.Unlock()
+}
+
+// AddExecs records n simulated executions.
+func (m *MutexCounters) AddExecs(n int64) {
+	m.mu.Lock()
+	m.execs += n
+	m.mu.Unlock()
+}
+
+// AddEnergy records j joules.
+func (m *MutexCounters) AddEnergy(j float64) {
+	m.mu.Lock()
+	m.energy += j
+	m.mu.Unlock()
+}
+
+// Events returns the event total.
+func (m *MutexCounters) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Execs returns the execution total.
+func (m *MutexCounters) Execs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.execs
+}
+
+// EnergyJ returns the energy total.
+func (m *MutexCounters) EnergyJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.energy
+}

@@ -1,0 +1,287 @@
+// Package stats is pcapd's contention-free live counter layer.
+//
+// A long-lived simulation daemon wants live global counters — jobs
+// served, events simulated, disk energy accounted — visible at any
+// moment from a monitoring endpoint, while dozens of workers hammer the
+// simulation hot path. The naive designs put that hot path through
+// shared state on every increment: a shared atomic turns every
+// per-event add into a cross-core RMW on one cache line, a mutex is
+// worse. This package instead commits information, not traffic
+// (VSA-style delta coalescing): each worker accumulates deltas in a
+// private, unsynchronized Local shard and commits the batch to the
+// global atomic view only when the pending volume crosses a threshold
+// or the view would grow stale past a deadline. The per-add cost is a
+// couple of plain register-width additions; the shared cache line is
+// touched once per thousands of adds.
+//
+// Exactness contract: coalescing trades freshness, never correctness.
+// Every delta added to a Local is committed to the global view exactly
+// once — on a threshold commit, a deadline commit, or the final Flush
+// that every owner performs when it releases the shard — so after all
+// shards are flushed the global counters equal the exact sums, add for
+// add. The only thing a reader can observe mid-run is a slightly stale
+// (always internally committed) view, bounded by the threshold and the
+// deadline. TestCoalescedExactSum pins this under the race detector.
+//
+// Ownership: a Local is single-owner state, exactly like the pooled
+// runState of DESIGN.md §10 — one goroutine adds and flushes; sharing a
+// Local is a data race by construction. The global Counters value is
+// safe for any number of concurrent committers and readers.
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is the global, always-consistent-to-read counter view.
+// All mutation arrives either through the direct Job* methods (job
+// lifecycle transitions are rare — they pay the atomic directly) or
+// through Local shard commits.
+type Counters struct {
+	jobsStarted atomic.Int64
+	jobsDone    atomic.Int64
+	jobsFailed  atomic.Int64
+
+	events   atomic.Int64
+	execs    atomic.Int64
+	machines atomic.Int64
+	adds     atomic.Int64
+	commits  atomic.Int64
+
+	energyBits atomic.Uint64 // float64 bits; see addFloat
+}
+
+// Snapshot is one coherent-enough read of the counters. Fields are read
+// individually (each is atomic); a snapshot taken while shards hold
+// uncommitted deltas lags by at most each shard's threshold/deadline.
+type Snapshot struct {
+	// JobsStarted / JobsDone / JobsFailed count job lifecycle
+	// transitions; failed jobs (including canceled and timed-out ones)
+	// are counted in both JobsDone and JobsFailed.
+	JobsStarted int64 `json:"jobs_started"`
+	JobsDone    int64 `json:"jobs_done"`
+	JobsFailed  int64 `json:"jobs_failed"`
+	// Events and Execs count simulated trace events and executions
+	// delivered to policies; Machines counts retired fleet machines.
+	Events   int64 `json:"events"`
+	Execs    int64 `json:"execs"`
+	Machines int64 `json:"machines"`
+	// EnergyJ totals the disk energy of every simulated policy run.
+	EnergyJ float64 `json:"energy_j"`
+	// Adds is the number of Local add operations absorbed; Commits is
+	// the number of coalesced commits that carried them to this view.
+	// Adds/Commits is the live coalescing ratio.
+	Adds    int64 `json:"adds"`
+	Commits int64 `json:"commits"`
+}
+
+// Snapshot reads the current global view.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		JobsStarted: c.jobsStarted.Load(),
+		JobsDone:    c.jobsDone.Load(),
+		JobsFailed:  c.jobsFailed.Load(),
+		Events:      c.events.Load(),
+		Execs:       c.execs.Load(),
+		Machines:    c.machines.Load(),
+		EnergyJ:     math.Float64frombits(c.energyBits.Load()),
+		Adds:        c.adds.Load(),
+		Commits:     c.commits.Load(),
+	}
+}
+
+// JobStarted records a job leaving the queue for a worker.
+func (c *Counters) JobStarted() { c.jobsStarted.Add(1) }
+
+// JobDone records a finished job; failed also counts it as a failure
+// (errors, cancellations, timeouts).
+func (c *Counters) JobDone(failed bool) {
+	c.jobsDone.Add(1)
+	if failed {
+		c.jobsFailed.Add(1)
+	}
+}
+
+// addFloat adds delta to a float64 stored as atomic bits, with the
+// standard CAS loop. Each delta is applied exactly once; only the
+// accumulation order (and therefore the usual floating-point rounding
+// of concurrent sums) is scheduling-dependent.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		val := math.Float64frombits(old) + delta
+		if bits.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// commit applies one shard's pending deltas to the global view.
+func (c *Counters) commit(d *delta) {
+	if d.events != 0 {
+		c.events.Add(d.events)
+	}
+	if d.execs != 0 {
+		c.execs.Add(d.execs)
+	}
+	if d.machines != 0 {
+		c.machines.Add(d.machines)
+	}
+	if d.adds != 0 {
+		c.adds.Add(d.adds)
+	}
+	if d.energy != 0 {
+		addFloat(&c.energyBits, d.energy)
+	}
+	c.commits.Add(1)
+	*d = delta{}
+}
+
+// delta is a shard's pending, uncommitted contribution.
+type delta struct {
+	events   int64
+	execs    int64
+	machines int64
+	adds     int64
+	energy   float64
+}
+
+// DefaultThreshold is the pending-unit volume (events + execs +
+// machines) at which a Local commits. Thousands of units per commit
+// amortizes the shared-cache-line traffic to noise while keeping the
+// global view fresh within a fraction of a second at simulation speed.
+const DefaultThreshold = 1 << 14
+
+// lagCheckEvery bounds how many adds may pass between wall-clock reads
+// on the deadline path: the clock (a vDSO call, but still tens of
+// nanoseconds) must not be consulted per add, or it would itself become
+// the overhead the coalescing removes.
+const lagCheckEvery = 256
+
+// Local is one owner's private delta shard over a global Counters.
+// Adds are plain arithmetic; commits happen on the threshold, on the
+// deadline, and on Flush. The zero Local is not usable — construct with
+// NewLocal.
+type Local struct {
+	c       *Counters
+	pending delta
+	// units counts threshold-relevant pending volume.
+	units     int64
+	threshold int64
+	// Deadline machinery: nowNanos is nil when deadline commits are
+	// disabled (threshold-only coalescing — fully deterministic, used by
+	// tests and benchmarks that want stable commit counts).
+	nowNanos     func() int64
+	maxLagNanos  int64
+	lastCommitNs int64
+	sinceCheck   int64
+}
+
+// Options tune a Local shard.
+type Options struct {
+	// Threshold is the pending-unit volume that forces a commit; 0
+	// means DefaultThreshold.
+	Threshold int64
+	// MaxLag bounds how stale the global view may grow while this
+	// shard sits on a small pending delta; 0 disables deadline commits
+	// (the shard then commits on threshold and Flush only).
+	MaxLag time.Duration
+	// NowNanos overrides the deadline clock (tests). Nil with a
+	// nonzero MaxLag selects the wall clock.
+	NowNanos func() int64
+}
+
+// NewLocal returns a shard committing into c.
+func NewLocal(c *Counters, opts Options) *Local {
+	l := &Local{c: c, threshold: opts.Threshold}
+	if l.threshold <= 0 {
+		l.threshold = DefaultThreshold
+	}
+	if opts.MaxLag > 0 {
+		l.maxLagNanos = int64(opts.MaxLag)
+		l.nowNanos = opts.NowNanos
+		if l.nowNanos == nil {
+			// The wall clock here feeds only commit pacing — how fresh
+			// the monitoring view is — never any simulated quantity, so
+			// the determinism contract is untouched.
+			l.nowNanos = func() int64 { return time.Now().UnixNano() } //pcaplint:ignore nondet-source deadline commits pace monitoring freshness only; no simulated result reads this clock
+		}
+		l.lastCommitNs = l.nowNanos()
+	}
+	return l
+}
+
+// AddEvents records n simulated events.
+func (l *Local) AddEvents(n int64) {
+	l.pending.events += n
+	l.pending.adds++
+	l.bump(n)
+}
+
+// AddExecs records n simulated executions.
+func (l *Local) AddExecs(n int64) {
+	l.pending.execs += n
+	l.pending.adds++
+	l.bump(n)
+}
+
+// AddMachines records n retired fleet machines.
+func (l *Local) AddMachines(n int64) {
+	l.pending.machines += n
+	l.pending.adds++
+	l.bump(n)
+}
+
+// AddEnergy records j joules of simulated disk energy. Energy rides
+// along with whatever commit the unit counters trigger; it never
+// triggers one itself.
+func (l *Local) AddEnergy(j float64) {
+	l.pending.energy += j
+	l.pending.adds++
+}
+
+// bump advances the pending volume and commits on threshold or
+// deadline.
+func (l *Local) bump(n int64) {
+	l.units += n
+	if l.units >= l.threshold {
+		l.Flush()
+		return
+	}
+	if l.nowNanos == nil {
+		return
+	}
+	if l.sinceCheck++; l.sinceCheck < lagCheckEvery {
+		return
+	}
+	l.sinceCheck = 0
+	if l.nowNanos()-l.lastCommitNs >= l.maxLagNanos {
+		l.Flush()
+	}
+}
+
+// Flush commits every pending delta to the global view. Owners must
+// Flush before releasing the shard (job end, worker exit); Flush on an
+// empty shard is a no-op.
+func (l *Local) Flush() {
+	if l.pending == (delta{}) {
+		l.resetPacing()
+		return
+	}
+	l.c.commit(&l.pending)
+	l.units = 0
+	l.resetPacing()
+}
+
+func (l *Local) resetPacing() {
+	l.sinceCheck = 0
+	if l.nowNanos != nil {
+		l.lastCommitNs = l.nowNanos()
+	}
+}
+
+// Pending reports the shard's uncommitted unit volume — test and
+// debugging visibility into the coalescing state.
+func (l *Local) Pending() int64 { return l.units }

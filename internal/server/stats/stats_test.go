@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescedExactSum is the exactness contract under concurrency: N
+// writer goroutines, each with its own Local shard and a deliberately
+// tiny threshold (so commits interleave heavily), must sum exactly —
+// no delta lost, none applied twice — once every shard is flushed. The
+// energy deltas are dyadic rationals well inside float64's exact-integer
+// range, so the expected total is exact regardless of the order the
+// concurrent CAS commits land in. Run under -race by ci.sh.
+func TestCoalescedExactSum(t *testing.T) {
+	const (
+		writers = 8
+		adds    = 10_000
+	)
+	var g Counters
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := NewLocal(&g, Options{Threshold: 7})
+			for i := 0; i < adds; i++ {
+				l.AddEvents(3)
+				l.AddExecs(1)
+				if i%5 == 0 {
+					l.AddMachines(2)
+				}
+				l.AddEnergy(0.25)
+			}
+			l.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	s := g.Snapshot()
+	if want := int64(writers * adds * 3); s.Events != want {
+		t.Errorf("Events = %d, want %d", s.Events, want)
+	}
+	if want := int64(writers * adds); s.Execs != want {
+		t.Errorf("Execs = %d, want %d", s.Execs, want)
+	}
+	if want := int64(writers * (adds / 5) * 2); s.Machines != want {
+		t.Errorf("Machines = %d, want %d", s.Machines, want)
+	}
+	if want := float64(writers*adds) * 0.25; s.EnergyJ != want {
+		t.Errorf("EnergyJ = %g, want %g", s.EnergyJ, want)
+	}
+	// Every add is accounted, and coalescing actually coalesced: far
+	// fewer commits than adds.
+	wantAdds := int64(writers * (adds*3 + adds/5))
+	if s.Adds != wantAdds {
+		t.Errorf("Adds = %d, want %d", s.Adds, wantAdds)
+	}
+	if s.Commits == 0 || s.Commits >= s.Adds {
+		t.Errorf("Commits = %d for %d adds; coalescing not effective", s.Commits, s.Adds)
+	}
+}
+
+// TestThresholdCommit pins the threshold protocol on one shard: the
+// global view lags until the pending volume crosses the threshold, then
+// absorbs the whole batch in one commit.
+func TestThresholdCommit(t *testing.T) {
+	var g Counters
+	l := NewLocal(&g, Options{Threshold: 10})
+
+	l.AddEvents(4)
+	l.AddEvents(5)
+	if got := g.Snapshot(); got.Events != 0 || got.Commits != 0 {
+		t.Fatalf("before threshold: %+v, want no commits", got)
+	}
+	if l.Pending() != 9 {
+		t.Fatalf("Pending = %d, want 9", l.Pending())
+	}
+	l.AddEvents(1) // crosses the threshold
+	got := g.Snapshot()
+	if got.Events != 10 || got.Commits != 1 {
+		t.Fatalf("at threshold: %+v, want 10 events in 1 commit", got)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after commit, want 0", l.Pending())
+	}
+
+	// Energy rides along with unit commits, never triggers its own.
+	l.AddEnergy(2.5)
+	if got := g.Snapshot(); got.EnergyJ != 0 {
+		t.Fatalf("energy committed without a unit commit: %+v", got)
+	}
+	l.AddEvents(100)
+	if got := g.Snapshot(); got.EnergyJ != 2.5 || got.Events != 110 {
+		t.Fatalf("after ride-along commit: %+v", got)
+	}
+}
+
+// TestDeadlineCommit drives the deadline path with an injected clock: a
+// small pending delta must be committed once the shard has sat on it
+// past MaxLag, even though the threshold is far away. The clock is
+// consulted only every lagCheckEvery adds, so the test crosses that
+// stride.
+func TestDeadlineCommit(t *testing.T) {
+	now := int64(0)
+	var g Counters
+	l := NewLocal(&g, Options{
+		Threshold: 1 << 30,
+		MaxLag:    time.Second,
+		NowNanos:  func() int64 { return now },
+	})
+
+	for i := 0; i < lagCheckEvery; i++ {
+		l.AddEvents(1)
+	}
+	if got := g.Snapshot(); got.Commits != 0 {
+		t.Fatalf("committed before the deadline: %+v", got)
+	}
+	now += 2 * int64(time.Second)
+	for i := 0; i <= lagCheckEvery; i++ {
+		l.AddEvents(1)
+	}
+	got := g.Snapshot()
+	if got.Commits != 1 {
+		t.Fatalf("Commits = %d after deadline, want 1", got.Commits)
+	}
+	if got.Events == 0 {
+		t.Fatalf("deadline commit carried no events: %+v", got)
+	}
+}
+
+// TestFlushIsExactAndIdempotent: Flush commits everything pending and a
+// second Flush adds nothing.
+func TestFlushIsExactAndIdempotent(t *testing.T) {
+	var g Counters
+	l := NewLocal(&g, Options{Threshold: 1 << 30})
+	l.AddEvents(123)
+	l.AddExecs(4)
+	l.AddMachines(5)
+	l.AddEnergy(1.5)
+	l.Flush()
+	l.Flush()
+	got := g.Snapshot()
+	if got.Events != 123 || got.Execs != 4 || got.Machines != 5 || got.EnergyJ != 1.5 {
+		t.Fatalf("after flush: %+v", got)
+	}
+	if got.Commits != 1 {
+		t.Fatalf("Commits = %d, want 1 (second Flush must be a no-op)", got.Commits)
+	}
+}
+
+// TestJobCounters covers the direct (non-coalesced) job lifecycle path.
+func TestJobCounters(t *testing.T) {
+	var g Counters
+	g.JobStarted()
+	g.JobStarted()
+	g.JobDone(false)
+	g.JobDone(true)
+	got := g.Snapshot()
+	if got.JobsStarted != 2 || got.JobsDone != 2 || got.JobsFailed != 1 {
+		t.Fatalf("job counters: %+v", got)
+	}
+}
+
+// TestBaselinesAgree: the three designs count identically — the
+// baselines differ from the coalesced design only in synchronization
+// cost, which is the entire point of benchmarking them side by side.
+func TestBaselinesAgree(t *testing.T) {
+	var (
+		g  Counters
+		a  AtomicCounters
+		m  MutexCounters
+		wg sync.WaitGroup
+	)
+	const writers, adds = 4, 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := NewLocal(&g, Options{Threshold: 64})
+			for i := 0; i < adds; i++ {
+				l.AddEvents(2)
+				l.AddEnergy(0.5)
+				a.AddEvents(2)
+				a.AddEnergy(0.5)
+				m.AddEvents(2)
+				m.AddEnergy(0.5)
+			}
+			l.Flush()
+		}()
+	}
+	wg.Wait()
+	s := g.Snapshot()
+	if s.Events != a.Events() || s.Events != m.Events() {
+		t.Errorf("event totals disagree: coalesced %d atomic %d mutex %d",
+			s.Events, a.Events(), m.Events())
+	}
+	if s.EnergyJ != a.EnergyJ() || s.EnergyJ != m.EnergyJ() {
+		t.Errorf("energy totals disagree: coalesced %g atomic %g mutex %g",
+			s.EnergyJ, a.EnergyJ(), m.EnergyJ())
+	}
+}

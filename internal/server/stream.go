@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Streamed progress: GET /jobs/{id}/events serves the job's lifecycle as
+// Server-Sent Events. Each observable change (state transition, finished
+// policy run) emits one "progress" event whose data is the job's View;
+// the final event is named after the terminal state and carries the full
+// view including Output. The stream is change-driven — watchers park on
+// the job's change channel, no polling — so an idle job costs nothing.
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	for {
+		// Snapshot after grabbing the change channel: changes landing
+		// between the two are covered by the snapshot and re-delivered
+		// (harmlessly) by the already-closed channel.
+		_, changed := job.watch()
+		v := job.view()
+		terminal := v.State == StateDone || v.State == StateFailed || v.State == StateCanceled
+		name := "progress"
+		if terminal {
+			name = v.State
+		}
+		if err := writeEvent(w, name, v); err != nil {
+			return // client went away
+		}
+		fl.Flush()
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w http.ResponseWriter, name string, v View) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	return err
+}

@@ -289,6 +289,63 @@ func (l *limitSource) Reset() error {
 	return l.src.Reset()
 }
 
+// limitExecsSource caps the workload at its first n executions.
+type limitExecsSource struct {
+	src  Source
+	n    int
+	seen int
+}
+
+// LimitExecs returns a source yielding only the first n executions of
+// src — the workload-level counterpart of Limit, used to carve bounded
+// jobs out of large workloads (pcapd's per-job execution cap). Events
+// within the surviving executions pass through unchanged, including the
+// inner source's batch paths.
+func LimitExecs(src Source, n int) Source {
+	if n < 0 {
+		n = 0
+	}
+	return &limitExecsSource{src: src, n: n}
+}
+
+func (l *limitExecsSource) NextExec() (string, int, bool) {
+	if l.seen >= l.n {
+		return "", 0, false
+	}
+	app, exec, ok := l.src.NextExec()
+	if ok {
+		l.seen++
+	}
+	return app, exec, ok
+}
+
+func (l *limitExecsSource) Next() (Event, bool) { return l.src.Next() }
+
+// AppendExec implements ExecAppender so the wrapper does not demote the
+// inner source's batch decode path to event-at-a-time pulls.
+func (l *limitExecsSource) AppendExec(buf []Event) []Event {
+	if es, ok := l.src.(ExecSlicer); ok {
+		return append(buf, es.ExecEvents()...)
+	}
+	if ea, ok := l.src.(ExecAppender); ok {
+		return ea.AppendExec(buf)
+	}
+	for {
+		e, ok := l.src.Next()
+		if !ok {
+			return buf
+		}
+		buf = append(buf, e)
+	}
+}
+
+func (l *limitExecsSource) Err() error { return l.src.Err() }
+
+func (l *limitExecsSource) Reset() error {
+	l.seen = 0
+	return l.src.Reset()
+}
+
 // scaleSource repeats a workload n times.
 type scaleSource struct {
 	src  Source

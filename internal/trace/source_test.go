@@ -143,6 +143,44 @@ func TestLimit(t *testing.T) {
 	}
 }
 
+func TestLimitExecs(t *testing.T) {
+	traces := []*Trace{mkTrace("a", 0, 5), mkTrace("a", 1, 3), mkTrace("a", 2, 4)}
+	src := LimitExecs(NewSliceSource(traces...), 2)
+	got := collectSource(t, src)
+	if len(got) != 2 {
+		t.Fatalf("got %d executions, want 2", len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Events, traces[i].Events) {
+			t.Errorf("exec %d events differ from the unlimited source", i)
+		}
+	}
+	// Reset restores the full budget.
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if again := collectSource(t, src); len(again) != 2 {
+		t.Fatalf("after reset: %d executions, want 2", len(again))
+	}
+	// The batch path delivers the same events as the pull path.
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := src.NextExec(); !ok {
+		t.Fatal("NextExec failed after reset")
+	}
+	batch := src.(ExecAppender).AppendExec(nil)
+	if !reflect.DeepEqual(batch, traces[0].Events) {
+		t.Errorf("AppendExec differs from the source events")
+	}
+	// Zero and negative caps yield an empty workload.
+	for _, n := range []int{0, -1} {
+		if got := collectSource(t, LimitExecs(NewSliceSource(traces...), n)); len(got) != 0 {
+			t.Errorf("LimitExecs(%d): %d executions, want 0", n, len(got))
+		}
+	}
+}
+
 func TestScaleIdentityAtOne(t *testing.T) {
 	src := NewSliceSource(mkTrace("a", 0, 2))
 	if Scale(src, 1) != Source(src) {
