@@ -1,0 +1,68 @@
+package pcapsim
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"pcapsim/internal/lint"
+)
+
+// BenchmarkPcaplintFull times a whole-module pcaplint run — parse,
+// DAG-scheduled type-check, every registered analyzer — and reports
+// throughput over the module's non-test Go files. The metric rides the
+// BENCH_PR*.json artifact for trend visibility but is deliberately NOT
+// in the benchjson gate list: a run is one loader-bound iteration whose
+// time is dominated by re-type-checking the stdlib from source, far too
+// noisy for a 10% regression threshold. ci.sh runs it in its own
+// process, after the hot-path sweep — the one-shot ~700 MB loader heap
+// measurably skews allocation-sensitive benches sharing the process.
+func BenchmarkPcaplintFull(b *testing.B) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	files := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			files++
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Match the shipped CLI: cmd/pcaplint trades heap headroom for wall
+	// time on its one-shot run, and this benchmark measures the tool as
+	// invoked by ci.sh. Restored afterwards so co-resident benchmarks
+	// keep the default GC pacing.
+	if os.Getenv("GOGC") == "" {
+		defer debug.SetGCPercent(debug.SetGCPercent(400))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, err := lint.RunModule(root, lint.All(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("tree not pcaplint-clean: %s", findings[0])
+		}
+	}
+	b.ReportMetric(float64(files*b.N)/b.Elapsed().Seconds(), "files/s")
+}

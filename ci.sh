@@ -25,12 +25,24 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+# Fast lint smoke: the analyzer corpora and CFG unit tests finish in a
+# couple of seconds and catch a broken analyzer before the full-tree
+# lint pass and the race suite spend minutes on it.
+echo "== lint smoke (go test -short ./internal/lint)"
+go test -short -count=1 ./internal/lint
+
 # Blocking: the repo's own static-analysis suite (internal/lint). Any
-# finding — determinism, pool-ownership, error-handling, or a malformed
-# suppression directive — fails the gate; fix it or suppress it with a
-# reasoned //pcaplint:ignore.
-echo "== pcaplint ./..."
-go run ./cmd/pcaplint ./...
+# finding — determinism, pool-ownership, context/goroutine discipline,
+# float fold order, error handling, or a malformed suppression
+# directive — fails the gate; fix it or suppress it with a reasoned
+# //pcaplint:ignore. The JSON finding list is kept as a build artifact
+# (pcaplint.json, gitignored) for tooling.
+echo "== pcaplint ./... (artifact: pcaplint.json)"
+if ! go run ./cmd/pcaplint -json ./... >pcaplint.json; then
+	echo "ci: pcaplint findings:" >&2
+	cat pcaplint.json >&2
+	exit 1
+fi
 
 echo "== go test ./..."
 go test ./...
@@ -97,6 +109,16 @@ bench_artifact="${BENCH_ARTIFACT:-bench.txt}"
 bench_filter="${BENCH_FILTER:-FSCache|TableTrain|TableLookup|CacheFilter|RunApp(Materialized|Streaming)\$|FullSimulation|PCAPOnAccess\$|DecodeV[12]\$|DecodeV2(Parallel|Pushdown)\$|Fleet(1k|10k)\$|FleetReplay1k\$|PcapdSustained\$|Counters(Coalesced|Atomic|Mutex)\$}"
 echo "== go test -bench (hot path) -benchmem (artifact: ${bench_artifact})"
 if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME:-1s}" . >"${bench_artifact}" 2>&1; then
+	# PcaplintFull runs in its own process, appended to the artifact: it
+	# is recorded for trend visibility but deliberately NOT in the gate
+	# metric list below (one loader-bound iteration, stdlib re-type-check
+	# dominates — far too noisy for the 10% threshold), and its one-shot
+	# ~700 MB loader heap measurably perturbs the allocation-sensitive
+	# hot-path benches when they share the sweep process.
+	echo "== go test -bench PcaplintFull (own process, not gated)"
+	if ! go test -run '^$' -bench 'PcaplintFull$' -benchmem . >>"${bench_artifact}" 2>&1; then
+		echo "ci: pcaplint bench failed (non-blocking); see ${bench_artifact}" >&2
+	fi
 	# Fold the recorded pcapload run (already in bench-line format) into
 	# the artifact so the load-generator numbers ride the same JSON.
 	if [[ -s "${smoke_dir}/load.txt" ]]; then
@@ -107,14 +129,14 @@ if go test -run '^$' -bench "${bench_filter}" -benchmem -benchtime "${BENCH_TIME
 	# every metric (ns/op, B/op, allocs/op, ios/s, events/s, ...). The
 	# JSON is committed per PR so perf history survives in-repo; schema
 	# in EXPERIMENTS.md.
-	bench_json="${BENCH_JSON:-BENCH_PR9.json}"
+	bench_json="${BENCH_JSON:-BENCH_PR10.json}"
 	bench_baseline="${BENCH_BASELINE:-}"
 	if [[ -z "${bench_baseline}" ]]; then
 		if [[ -f "${bench_json}" ]]; then
 			bench_baseline="$(mktemp)"
 			cp "${bench_json}" "${bench_baseline}"
 		else
-			bench_baseline="BENCH_PR8.json"
+			bench_baseline="BENCH_PR9.json"
 		fi
 	fi
 	if go run ./cmd/benchjson -o "${bench_json}" "${bench_artifact}"; then

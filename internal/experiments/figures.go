@@ -243,8 +243,10 @@ func (s *Suite) energyFigure(pols []sim.Policy) (*EnergyFigure, error) {
 			counts[p.Name]++
 		}
 	}
-	for name, n := range counts {
-		fig.AverageSavings[name] /= float64(n)
+	for _, p := range pols {
+		if n := counts[p.Name]; n > 0 {
+			fig.AverageSavings[p.Name] /= float64(n)
+		}
 	}
 	return fig, nil
 }

@@ -261,7 +261,11 @@ func (f *Fleet) runShard(ids []int, results []sim.AppResult) error {
 		it := h.pop()
 		// Batched stepping: keep advancing this machine while it holds the
 		// earliest scheduled work, so runs of consecutive events on one
-		// machine cost no heap traffic.
+		// machine cost no heap traffic. The batch is bounded only by
+		// limit, which is infClock for the last live machine, so the
+		// Interrupt hook is polled every interruptStride steps within a
+		// batch too — a tail machine must not outrun cancellation by
+		// more than a bounded slice of work.
 		limit := infClock
 		if len(h) > 0 {
 			limit = h[0].t
@@ -269,7 +273,12 @@ func (f *Fleet) runShard(ids []int, results []sim.AppResult) error {
 		if ai < len(arr) && arr[ai].at < limit {
 			limit = arr[ai].at
 		}
-		for {
+		for steps := 1; ; steps++ {
+			if steps%interruptStride == 0 && f.cfg.Interrupt != nil {
+				if err := f.cfg.Interrupt(); err != nil {
+					return fmt.Errorf("fleet: interrupted: %w", err)
+				}
+			}
 			it.lm.m.Step()
 			t, ok := it.lm.m.NextTime()
 			if !ok {
@@ -289,6 +298,12 @@ func (f *Fleet) runShard(ids []int, results []sim.AppResult) error {
 
 // infClock is a sentinel beyond any event time.
 const infClock = trace.Time(1<<63 - 1)
+
+// interruptStride is how many steps a batch may advance one machine
+// between Interrupt polls. Large enough that the poll (an atomic load
+// for ctx.Err) vanishes against the step work, small enough that
+// cancellation latency stays in the microsecond range.
+const interruptStride = 4096
 
 // fold commits the per-machine results to the aggregate strictly in
 // machine-ID order — the single place the fleet's floating-point

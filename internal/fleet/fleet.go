@@ -111,7 +111,8 @@ type Config struct {
 	// copy it to retain it.
 	Observe func(id int, res *sim.AppResult)
 	// Interrupt, if non-nil, is polled by every shard between machine
-	// advances; a non-nil return aborts the run with that error. Wire
+	// advances and at a fixed step stride inside long advancement
+	// batches; a non-nil return aborts the run with that error. Wire
 	// ctx.Err here to make a fleet run cancelable (the daemon's per-job
 	// timeouts and client disconnects). Interrupt must be safe for
 	// concurrent calls and cheap — it runs on the shard hot loop.

@@ -1,0 +1,641 @@
+package lint
+
+// An intra-procedural control-flow graph over go/ast function bodies,
+// plus the forward-dataflow fixed point the flow-sensitive analyzers
+// (poolsafe v2, ctxflow) run over it. Stdlib-only, like the rest of the
+// framework: no SSA, no golang.org/x/tools/go/cfg — the graph is built
+// directly from the statement structure, which is all the analyzers
+// need (DESIGN.md §17).
+//
+// Construction rules:
+//
+//   - A CFGBlock holds a straight-line run of statements and the
+//     condition/tag expressions evaluated on entry to a branch. Edges
+//     cover if/else, for (cond/post/back edge), range, switch and
+//     type-switch (including fallthrough), select (one edge per comm
+//     clause; no fall-past edge unless the select could complete),
+//     goto, and labeled break/continue.
+//   - Return statements and falling off the end of the body edge into a
+//     single Return sink block; panic(), os.Exit, runtime.Goexit and
+//     Fatal-family calls edge into a distinct Panic sink, so analyses
+//     can require properties on non-panic exits only.
+//   - defer statements are ordinary nodes in their block and are also
+//     collected in Defers. For a forward analysis this models defers as
+//     exit-edge actions: a deferred call influences exactly the exits
+//     reachable from its registration point, which is when it runs.
+//   - Code made unreachable by return/goto/panic still gets blocks (so
+//     labels inside it resolve), but those blocks have no predecessors
+//     and a forward dataflow never visits them.
+//
+// The builder is syntax-directed and makes no attempt to prune
+// infeasible paths (`if false { ... }` keeps both edges); analyzers
+// over-approximate reachability, which is the sound direction for the
+// must-reach-Put and must-see-cancellation checks built on top.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CFGBlock is one basic block: statements that execute in sequence
+// with branching only at the end.
+type CFGBlock struct {
+	// Index is the block's position in FuncCFG.Blocks.
+	Index int
+	// Kind is "" for ordinary blocks, "entry" for the entry block, and
+	// "return" / "panic" for the two exit sinks.
+	Kind string
+	// Nodes holds the block's statements and branch-head expressions
+	// (if/for conditions, switch tags, ranged expressions) in execution
+	// order. Node subtrees never overlap across or within blocks: a
+	// statement's sub-blocks own their nodes, so an analysis may
+	// ast.Inspect each node exactly once.
+	Nodes []ast.Node
+	// Head, when non-nil, is the range or select statement this block
+	// is the header of. The statement's body is not in Nodes — its
+	// sub-blocks carry it.
+	Head  ast.Stmt
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+}
+
+// A FuncCFG is the control-flow graph of one function body.
+type FuncCFG struct {
+	Entry *CFGBlock
+	// Return is the sink every return statement and the fall-off-end
+	// path edge into.
+	Return *CFGBlock
+	// Panic is the sink for panic/os.Exit/runtime.Goexit/Fatal* calls.
+	Panic  *CFGBlock
+	Blocks []*CFGBlock
+	// Defers lists every defer statement in the body, in source order.
+	Defers []*ast.DeferStmt
+	// Loops maps each for/range statement to its header and exit
+	// blocks, for analyses that reason about back edges.
+	Loops map[ast.Stmt]*LoopBlocks
+}
+
+// LoopBlocks names the structural blocks of one loop.
+type LoopBlocks struct {
+	// Header is the back-edge target: the condition block of a for,
+	// the per-iteration block of a range.
+	Header *CFGBlock
+	// After is the loop's normal exit (cond-false or break target).
+	After *CFGBlock
+}
+
+// BuildCFG constructs the CFG of one function body. info is used to
+// recognize terminal calls (panic, os.Exit, Fatal*) so they edge into
+// the panic sink instead of falling through.
+func BuildCFG(info *types.Info, body *ast.BlockStmt) *FuncCFG {
+	b := &cfgBuilder{
+		info: info,
+		g: &FuncCFG{
+			Loops: make(map[ast.Stmt]*LoopBlocks),
+		},
+		labels: make(map[string]*CFGBlock),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Return = b.newBlock("return")
+	b.g.Panic = b.newBlock("panic")
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Return)
+	}
+	for _, pg := range b.gotos {
+		if target := b.labels[pg.label]; target != nil && pg.from != nil {
+			b.edge(pg.from, target)
+		}
+	}
+	return b.g
+}
+
+// CFG returns the memoized control-flow graph for a function body in
+// this pass's package. Analyzers for one package run on one goroutine,
+// so the per-package cache needs no locking.
+func (p *Pass) CFG(body *ast.BlockStmt) *FuncCFG {
+	if p.Pkg.cfgs == nil {
+		p.Pkg.cfgs = make(map[*ast.BlockStmt]*FuncCFG)
+	}
+	g := p.Pkg.cfgs[body]
+	if g == nil {
+		g = BuildCFG(p.Pkg.Info, body)
+		p.Pkg.cfgs[body] = g
+	}
+	return g
+}
+
+type branchTarget struct {
+	label  string
+	target *CFGBlock
+}
+
+type pendingGoto struct {
+	from  *CFGBlock
+	label string
+}
+
+type cfgBuilder struct {
+	info *types.Info
+	g    *FuncCFG
+	// cur is the block under construction; nil after a jump, when the
+	// following code is unreachable.
+	cur    *CFGBlock
+	breaks []branchTarget
+	conts  []branchTarget
+	labels map[string]*CFGBlock
+	gotos  []pendingGoto
+	// pendingLabel is the label of an enclosing LabeledStmt, consumed
+	// by the next loop/switch/select so labeled break/continue resolve.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *CFGBlock {
+	blk := &CFGBlock{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target; following code is
+// unreachable until a new block starts.
+func (b *cfgBuilder) jump(target *CFGBlock) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// start begins filling target, linking it from the current block if
+// control can reach it by falling through.
+func (b *cfgBuilder) start(target *CFGBlock) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = target
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable statement: give it a predecessor-less block so
+		// labels inside it still resolve.
+		b.cur = b.newBlock("")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue to the innermost matching target.
+func findTarget(stack []branchTarget, label string) *CFGBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].target
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmts(st.List)
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.g.Return)
+	case *ast.ExprStmt:
+		b.add(st)
+		if isTerminalCall(b.info, st.X) {
+			b.jump(b.g.Panic)
+		}
+	case *ast.DeferStmt:
+		b.add(st)
+		b.g.Defers = append(b.g.Defers, st)
+	case *ast.BranchStmt:
+		b.branch(st)
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.ifStmt(st)
+	case *ast.ForStmt:
+		b.forStmt(st, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(st, b.takeLabel())
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchBody(st.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchBody(st.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(st, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(st)
+	case nil:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, GoStmt, SendStmt, IncDecStmt,
+		// EmptyStmt: straight-line nodes.
+		b.takeLabel()
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(st *ast.BranchStmt) {
+	switch st.Tok.String() {
+	case "break":
+		label := ""
+		if st.Label != nil {
+			label = st.Label.Name
+		}
+		if target := findTarget(b.breaks, label); target != nil {
+			b.add(st)
+			b.jump(target)
+			return
+		}
+		b.add(st)
+		b.cur = nil
+	case "continue":
+		label := ""
+		if st.Label != nil {
+			label = st.Label.Name
+		}
+		if target := findTarget(b.conts, label); target != nil {
+			b.add(st)
+			b.jump(target)
+			return
+		}
+		b.add(st)
+		b.cur = nil
+	case "goto":
+		b.add(st)
+		if st.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name})
+		}
+		b.cur = nil
+	case "fallthrough":
+		// Recorded as a node; switchBody adds the edge to the next
+		// case body.
+		b.add(st)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	b.add(st.Cond)
+	cond := b.cur
+	after := b.newBlock("")
+	// The then edge is added first: cond.Succs[0] is always the then
+	// branch (poolsafe's comma-ok handling relies on this).
+	then := b.newBlock("")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmts(st.Body.List)
+	b.jump(after)
+	if st.Else != nil {
+		els := b.newBlock("")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(st.Else)
+		b.jump(after)
+	} else {
+		b.edge(cond, after)
+	}
+	if len(after.Preds) > 0 {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) forStmt(st *ast.ForStmt, label string) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	header := b.newBlock("")
+	b.start(header)
+	if st.Cond != nil {
+		b.add(st.Cond)
+	}
+	after := b.newBlock("")
+	latch := header
+	if st.Post != nil {
+		latch = b.newBlock("")
+	}
+	b.g.Loops[st] = &LoopBlocks{Header: header, After: after}
+	if st.Cond != nil {
+		b.edge(header, after)
+	}
+	body := b.newBlock("")
+	b.edge(header, body)
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.conts = append(b.conts, branchTarget{label, latch})
+	b.cur = body
+	b.stmts(st.Body.List)
+	b.jump(latch)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	if st.Post != nil {
+		if len(latch.Preds) > 0 {
+			b.cur = latch
+			b.add(st.Post)
+			b.jump(header)
+		}
+	}
+	if len(after.Preds) > 0 {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt, label string) {
+	header := b.newBlock("")
+	b.start(header)
+	// The header owns the ranged expression; the RangeStmt itself is
+	// recorded as Head (appending it to Nodes would nest the whole
+	// body's subtree into the header).
+	header.Head = st
+	header.Nodes = append(header.Nodes, st.X)
+	after := b.newBlock("")
+	b.g.Loops[st] = &LoopBlocks{Header: header, After: after}
+	b.edge(header, after)
+	body := b.newBlock("")
+	b.edge(header, body)
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.conts = append(b.conts, branchTarget{label, header})
+	b.cur = body
+	b.stmts(st.Body.List)
+	b.jump(header)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+// head (the current block) holds the tag; every case body is a
+// successor of it. allowFallthrough is false for type switches.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, allowFallthrough bool) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("")
+		b.cur = head
+	}
+	after := b.newBlock("")
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range body.List {
+		clause, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, clause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+	}
+	bodies := make([]*CFGBlock, len(clauses))
+	for i, clause := range clauses {
+		bodies[i] = b.newBlock("")
+		// The case expressions, not the CaseClause (whose subtree would
+		// duplicate the body statements appended below).
+		for _, e := range clause.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		b.edge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, clause := range clauses {
+		b.cur = bodies[i]
+		b.stmts(clause.Body)
+		// A fallthrough as the clause's final statement continues into
+		// the next case body instead of leaving the switch.
+		if allowFallthrough && i+1 < len(clauses) && endsInFallthrough(clause.Body) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if len(after.Preds) > 0 {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	for i := len(body) - 1; i >= 0; i-- {
+		s := body[i]
+		for {
+			if ls, ok := s.(*ast.LabeledStmt); ok {
+				s = ls.Stmt
+				continue
+			}
+			break
+		}
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			continue
+		}
+		br, ok := s.(*ast.BranchStmt)
+		return ok && br.Tok.String() == "fallthrough"
+	}
+	return false
+}
+
+func (b *cfgBuilder) selectStmt(st *ast.SelectStmt, label string) {
+	// The select head is marked via Head — ctxflow treats its presence
+	// as a cancellation point. The clause blocks own the comm
+	// statements and bodies.
+	if b.cur == nil {
+		b.cur = b.newBlock("")
+	}
+	if b.cur.Head != nil {
+		// The current block already heads a range/select; give the
+		// select its own block.
+		next := b.newBlock("")
+		b.edge(b.cur, next)
+		b.cur = next
+	}
+	b.cur.Head = st
+	head := b.cur
+	after := b.newBlock("")
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	for _, cs := range st.Body.List {
+		clause, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("")
+		if clause.Comm != nil {
+			blk.Nodes = append(blk.Nodes, clause.Comm)
+		}
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmts(clause.Body)
+		b.jump(after)
+	}
+	// A select always runs exactly one clause (select{} blocks
+	// forever), so there is no head→after edge.
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if len(after.Preds) > 0 {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) labeledStmt(st *ast.LabeledStmt) {
+	target := b.newBlock("")
+	b.start(target)
+	b.labels[st.Label.Name] = target
+	b.pendingLabel = st.Label.Name
+	b.stmt(st.Stmt)
+	b.pendingLabel = ""
+}
+
+// --- analyses over the graph --------------------------------------------
+
+// Forward runs an iterative forward dataflow to a fixed point. transfer
+// computes a block's out-state from its in-state; join merges states at
+// control-flow merges (it must be monotone: join(a,b) moves toward a
+// fixed point, e.g. boolean OR for a may-analysis). It returns the
+// in-state per block index and which blocks are reachable from entry.
+func (g *FuncCFG) Forward(entry uint8, join func(a, b uint8) uint8, transfer func(blk *CFGBlock, in uint8) uint8) (in []uint8, reachable []bool) {
+	in = make([]uint8, len(g.Blocks))
+	reachable = make([]bool, len(g.Blocks))
+	in[g.Entry.Index] = entry
+	reachable[g.Entry.Index] = true
+	worklist := []*CFGBlock{g.Entry}
+	for len(worklist) > 0 {
+		blk := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		out := transfer(blk, in[blk.Index])
+		for _, s := range blk.Succs {
+			if !reachable[s.Index] {
+				reachable[s.Index] = true
+				in[s.Index] = out
+				worklist = append(worklist, s)
+			} else if j := join(in[s.Index], out); j != in[s.Index] {
+				in[s.Index] = j
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return in, reachable
+}
+
+// NaturalLoop returns the block set of the natural loop with the given
+// header: the header plus every block that can reach one of the
+// header's back edges without passing through the header. A
+// cancellation point inside this set is, by construction, reachable on
+// the back edge.
+func (g *FuncCFG) NaturalLoop(header *CFGBlock) []bool {
+	inLoop := make([]bool, len(g.Blocks))
+	inLoop[header.Index] = true
+	var stack []*CFGBlock
+	for _, src := range g.backEdgeSources(header) {
+		if !inLoop[src.Index] {
+			inLoop[src.Index] = true
+			stack = append(stack, src)
+		}
+	}
+	// Walk predecessors backward until the header.
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range blk.Preds {
+			if !inLoop[p.Index] {
+				inLoop[p.Index] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return inLoop
+}
+
+// backEdgeSources returns the sources of back edges targeting header: a
+// DFS from entry classifies an edge u→v as a back edge when v is still
+// on the DFS stack. Plain reachability would misclassify the entry edge
+// of a loop nested inside another loop, so the stack discipline matters.
+func (g *FuncCFG) backEdgeSources(header *CFGBlock) []*CFGBlock {
+	var (
+		sources []*CFGBlock
+		color   = make([]uint8, len(g.Blocks)) // 0 white, 1 on stack, 2 done
+	)
+	type frame struct {
+		blk  *CFGBlock
+		next int
+	}
+	stack := []frame{{blk: g.Entry}}
+	color[g.Entry.Index] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.blk.Succs) {
+			s := f.blk.Succs[f.next]
+			f.next++
+			switch color[s.Index] {
+			case 0:
+				color[s.Index] = 1
+				stack = append(stack, frame{blk: s})
+			case 1:
+				if s == header {
+					sources = append(sources, f.blk)
+				}
+			}
+			continue
+		}
+		color[f.blk.Index] = 2
+		stack = stack[:len(stack)-1]
+	}
+	return sources
+}
+
+// reachableFrom returns the blocks reachable from start by forward
+// edges.
+func (g *FuncCFG) reachableFrom(start *CFGBlock) []bool {
+	seen := make([]bool, len(g.Blocks))
+	seen[start.Index] = true
+	stack := []*CFGBlock{start}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

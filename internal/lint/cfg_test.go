@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestCFG type-checks a single-file package and returns the CFG of
+// the function named fn, plus the package's type info.
+func buildTestCFG(t *testing.T, src, fn string) (*FuncCFG, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: corpusImporter}
+	if _, err := conf.Check("cfgtest", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Name.Name == fn {
+			return BuildCFG(info, fd.Body), info
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil, nil
+}
+
+// blockCalling finds the unique block containing a call to the named
+// function.
+func blockCalling(t *testing.T, g *FuncCFG, name string) *CFGBlock {
+	t.Helper()
+	var found *CFGBlock
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			calls := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						calls = true
+					}
+				}
+				return !calls
+			})
+			if calls {
+				if found != nil && found != blk {
+					t.Fatalf("call to %s in more than one block", name)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s", name)
+	}
+	return found
+}
+
+func canReach(g *FuncCFG, from, to *CFGBlock) bool {
+	return g.reachableFrom(from)[to.Index]
+}
+
+const cfgTestHeader = `package cfgtest
+
+func mark()  {}
+func work()  {}
+func after() {}
+func done()  {}
+`
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(x bool) {
+	if x {
+		work()
+	} else {
+		mark()
+	}
+	after()
+}
+`, "F")
+	wb, mb, ab := blockCalling(t, g, "work"), blockCalling(t, g, "mark"), blockCalling(t, g, "after")
+	for _, blk := range []*CFGBlock{wb, mb} {
+		if !canReach(g, blk, ab) {
+			t.Errorf("branch block %d does not reach the join", blk.Index)
+		}
+	}
+	if canReach(g, wb, mb) || canReach(g, mb, wb) {
+		t.Error("then and else branches reach each other")
+	}
+	if !canReach(g, ab, g.Return) {
+		t.Error("join does not reach the return sink")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(xs []int) {
+outer:
+	for {
+		for _, x := range xs {
+			if x > 0 {
+				break outer
+			}
+			work()
+		}
+		mark()
+	}
+	after()
+}
+`, "F")
+	ab := blockCalling(t, g, "after")
+	wb := blockCalling(t, g, "work")
+	mb := blockCalling(t, g, "mark")
+	// break outer jumps straight past both loops: after() is reachable
+	// even though the outer loop is `for {}` with no condition exit.
+	if !canReach(g, g.Entry, ab) {
+		t.Fatal("break outer does not reach the code after the outer loop")
+	}
+	// An unlabeled break would have landed in the outer loop body
+	// (mark's block); the labeled break must not be mark's only entry.
+	if !canReach(g, wb, mb) {
+		t.Error("inner range exit does not continue the outer body")
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(c chan int) {
+	select {
+	case <-c:
+		work()
+	default:
+		mark()
+	}
+	after()
+}
+`, "F")
+	var head *CFGBlock
+	for _, blk := range g.Blocks {
+		if _, ok := blk.Head.(*ast.SelectStmt); ok {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("no block heads the select")
+	}
+	wb, mb, ab := blockCalling(t, g, "work"), blockCalling(t, g, "mark"), blockCalling(t, g, "after")
+	// One edge per clause, and no head→after shortcut: a select always
+	// runs exactly one clause.
+	for _, s := range head.Succs {
+		if s == ab {
+			t.Error("select head has a direct edge past its clauses")
+		}
+	}
+	if !canReach(g, head, wb) || !canReach(g, head, mb) {
+		t.Error("select head does not reach every clause body")
+	}
+	if !canReach(g, wb, ab) || !canReach(g, mb, ab) {
+		t.Error("clause bodies do not rejoin after the select")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(xs []int) {
+	for range xs {
+		defer work()
+	}
+	after()
+}
+`, "F")
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	db := blockCalling(t, g, "work")
+	// The defer node sits in the loop body; its registration point is
+	// reachable from entry and reaches the return sink.
+	if !canReach(g, g.Entry, db) || !canReach(g, db, g.Return) {
+		t.Error("defer registration point not on an entry→return path")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(x bool) {
+	if x {
+		goto out
+	}
+	work()
+out:
+	after()
+}
+`, "F")
+	wb, ab := blockCalling(t, g, "work"), blockCalling(t, g, "after")
+	if len(ab.Preds) != 2 {
+		t.Errorf("label block has %d preds, want 2 (fallthrough + goto)", len(ab.Preds))
+	}
+	// The goto edge bypasses work(): some pred of the label block does
+	// not pass through work's block.
+	bypass := false
+	for _, p := range ab.Preds {
+		if p != wb && !canReach(g, wb, p) {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Error("no goto path bypasses the skipped statement")
+	}
+}
+
+func TestCFGPanicExit(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(x bool) {
+	if x {
+		panic("boom")
+	}
+	after()
+}
+`, "F")
+	if len(g.Panic.Preds) != 1 {
+		t.Errorf("panic sink has %d preds, want 1", len(g.Panic.Preds))
+	}
+	pb := g.Panic.Preds[0]
+	if canReach(g, pb, g.Return) {
+		t.Error("panic block reaches the return sink")
+	}
+	if !canReach(g, blockCalling(t, g, "after"), g.Return) {
+		t.Error("non-panic path does not reach the return sink")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(x int) {
+	switch x {
+	case 0:
+		work()
+		fallthrough
+	case 1:
+		mark()
+	default:
+		done()
+	}
+	after()
+}
+`, "F")
+	wb, mb, db := blockCalling(t, g, "work"), blockCalling(t, g, "mark"), blockCalling(t, g, "done")
+	if !hasSucc(wb, mb) {
+		t.Error("fallthrough case does not edge into the next case body")
+	}
+	if canReach(g, wb, db) {
+		t.Error("fallthrough reaches the default clause")
+	}
+	ab := blockCalling(t, g, "after")
+	for _, blk := range []*CFGBlock{wb, mb, db} {
+		if !canReach(g, blk, ab) {
+			t.Errorf("case block %d does not rejoin after the switch", blk.Index)
+		}
+	}
+}
+
+func TestCFGForPostContinue(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		work()
+	}
+	after()
+}
+`, "F")
+	wb, ab := blockCalling(t, g, "work"), blockCalling(t, g, "after")
+	if !canReach(g, wb, wb) {
+		t.Error("loop body cannot reach itself around the back edge")
+	}
+	if !canReach(g, wb, ab) {
+		t.Error("loop body cannot exit the loop")
+	}
+	if len(g.Loops) != 1 {
+		t.Fatalf("Loops records %d loops, want 1", len(g.Loops))
+	}
+	for _, lb := range g.Loops {
+		inLoop := g.NaturalLoop(lb.Header)
+		if !inLoop[wb.Index] {
+			t.Error("work's block not in the natural loop")
+		}
+		if inLoop[ab.Index] {
+			t.Error("after's block leaked into the natural loop")
+		}
+	}
+}
+
+func TestCFGInfiniteLoopUnreachableExit(t *testing.T) {
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F() {
+	for {
+		work()
+	}
+}
+`, "F")
+	if len(g.Return.Preds) != 0 {
+		t.Errorf("return sink of an infinite loop has %d preds, want 0", len(g.Return.Preds))
+	}
+}
+
+func TestCFGNestedLoopNaturalLoopIsTight(t *testing.T) {
+	// A cancellation check in the OUTER loop must not count as part of
+	// the inner loop's natural loop: naive reachability-based back-edge
+	// detection gets this wrong (the outer body is reachable from the
+	// inner header via the outer back edge).
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(stop func() bool) {
+	for {
+		mark()
+		if stop() {
+			return
+		}
+		for {
+			work()
+		}
+	}
+}
+`, "F")
+	wb, mb := blockCalling(t, g, "work"), blockCalling(t, g, "mark")
+	var inner *LoopBlocks
+	for st, lb := range g.Loops {
+		fs := st.(*ast.ForStmt)
+		if g.NaturalLoop(lb.Header)[wb.Index] && len(fs.Body.List) == 1 {
+			inner = lb
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner loop not found in Loops")
+	}
+	if g.NaturalLoop(inner.Header)[mb.Index] {
+		t.Error("outer-body block misclassified into the inner natural loop")
+	}
+}
+
+func hasSucc(from, to *CFGBlock) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGForwardFixedPoint(t *testing.T) {
+	// A may-analysis over `if x { mark() } ; after()`: state 1 is
+	// generated in the then branch and must survive the join (OR).
+	g, _ := buildTestCFG(t, cfgTestHeader+`
+func F(x bool) {
+	if x {
+		mark()
+	}
+	after()
+}
+`, "F")
+	mb := blockCalling(t, g, "mark")
+	in, reachable := g.Forward(0,
+		func(a, b uint8) uint8 { return a | b },
+		func(blk *CFGBlock, s uint8) uint8 {
+			if blk == mb {
+				return 1
+			}
+			return s
+		})
+	if !reachable[g.Return.Index] {
+		t.Fatal("return sink unreachable")
+	}
+	if in[g.Return.Index] != 1 {
+		t.Errorf("may-state at return = %d, want 1 (then-branch gen survives the join)", in[g.Return.Index])
+	}
+	ab := blockCalling(t, g, "after")
+	if in[ab.Index] != 1 {
+		t.Errorf("join in-state = %d, want 1", in[ab.Index])
+	}
+}

@@ -173,6 +173,18 @@ func TestErrcheckLiteCorpus(t *testing.T) {
 	runCorpus(t, "errcheck", "internal/trace", ErrcheckLite)
 }
 
+func TestCtxFlowCorpus(t *testing.T) {
+	runCorpus(t, "ctxflow", "internal/sim", CtxFlow)
+}
+
+func TestGoroLeakCorpus(t *testing.T) {
+	runCorpus(t, "goroleak", "internal/trace", GoroLeak)
+}
+
+func TestFloatDetCorpus(t *testing.T) {
+	runCorpus(t, "floatdet", "internal/sim", FloatDet)
+}
+
 // TestFrameworkDirectives runs no analyzers at all: every expected
 // finding comes from the directive layer itself — unknown analyzer
 // names, missing reasons, unknown verbs, misplaced owner-transfer.
@@ -266,14 +278,14 @@ func TestSelect(t *testing.T) {
 		return strings.Join(out, ",")
 	}
 	got, err := Select("", "")
-	if err != nil || names(got) != "detmap,nondet-source,poolsafe,errcheck-lite" {
+	if err != nil || names(got) != "detmap,nondet-source,poolsafe,errcheck-lite,ctxflow,goroleak,floatdet" {
 		t.Errorf("Select(\"\", \"\") = %s, %v", names(got), err)
 	}
 	got, err = Select("poolsafe,detmap", "")
 	if err != nil || names(got) != "detmap,poolsafe" {
 		t.Errorf("Select(only) = %s, %v", names(got), err)
 	}
-	got, err = Select("", "errcheck-lite")
+	got, err = Select("", "errcheck-lite,ctxflow,goroleak,floatdet")
 	if err != nil || names(got) != "detmap,nondet-source,poolsafe" {
 		t.Errorf("Select(skip) = %s, %v", names(got), err)
 	}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatDet flags floating-point accumulation whose result depends on an
+// unordered visitation: float addition and multiplication are not
+// associative, so summing in map-iteration order or goroutine-completion
+// order makes the simulator's energy/delay aggregates differ run to run
+// — exactly the nondeterminism the determinism contract (DESIGN.md §8)
+// and the ID-ordered fold rule (§14) exist to prevent.
+//
+// Two shapes are flagged, in result-affecting packages only:
+//
+//   - an accumulator declared outside a range-over-map body that the
+//     body compound-assigns (+=, -=, *=, /=, ++/--, or the spelled-out
+//     `x = x + e`) with a float type;
+//   - the same accumulation inside a go-launched function literal when
+//     the target is captured from the enclosing function — completion
+//     order then picks the fold order.
+//
+// Per-iteration locals (declared inside the loop body) reset each pass
+// and carry no cross-iteration order dependence; they are exempt.
+// Targets that are fields or elements are always treated as shared.
+// The overlap with detmap on map-ranged bodies is deliberate: detmap
+// flags order-dependent map iteration generally, floatdet names the
+// numeric mechanism and fires even where detmap's heuristics are
+// silent. Approximation notes live in DESIGN.md §17.
+var FloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "float accumulation in map-iteration or goroutine-completion order",
+	Run:  runFloatDet,
+}
+
+func runFloatDet(pass *Pass) {
+	if !resultAffecting(pass.Pkg.RelPath) {
+		return
+	}
+	// A map range inside a go-launched literal matches both shapes;
+	// report each accumulation site once.
+	reported := make(map[token.Pos]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := pass.Pkg.Info.Types[st.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						scanFloatAccum(pass, st.Body, reported,
+							"float accumulation in map iteration order is nondeterministic; collect into an ID-ordered slice and fold sequentially (DESIGN.md §14)")
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+					scanFloatAccum(pass, lit.Body, reported,
+						"float accumulation into a captured variable from a goroutine folds in completion order; accumulate locally and merge in ID order (DESIGN.md §14)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanFloatAccum reports float accumulations in body whose target lives
+// outside body. Nested function literals are skipped: a closure's own
+// accumulation belongs to whatever launches the closure.
+func scanFloatAccum(pass *Pass, body *ast.BlockStmt, reported map[token.Pos]bool, msg string) {
+	info := pass.Pkg.Info
+	report := func(pos token.Pos) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+	shallowInspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(st.Lhs) == 1 && isSharedFloatTarget(info, st.Lhs[0], body) {
+					report(st.Pos())
+				}
+			case token.ASSIGN:
+				// The spelled-out form: x = x + e / x = e * x.
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) || !isSharedFloatTarget(info, lhs, body) {
+						continue
+					}
+					if bin, ok := ast.Unparen(st.Rhs[i]).(*ast.BinaryExpr); ok && isFoldOp(bin.Op) {
+						ls := types.ExprString(ast.Unparen(lhs))
+						if types.ExprString(ast.Unparen(bin.X)) == ls || types.ExprString(ast.Unparen(bin.Y)) == ls {
+							report(st.Pos())
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isSharedFloatTarget(info, st.X, body) {
+				report(st.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func isFoldOp(op token.Token) bool {
+	return op == token.ADD || op == token.SUB || op == token.MUL || op == token.QUO
+}
+
+// isSharedFloatTarget reports whether e is a float-typed store target
+// that outlives one body iteration: a variable declared outside body,
+// or any field/element (always shared).
+func isSharedFloatTarget(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	}
+	return true
+}

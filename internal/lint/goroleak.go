@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every goroutine spawned in a result-affecting
+// package to carry a visible join or cancellation discipline. The
+// simulator's parallel sections (trace decode workers, experiment
+// pools, fleet shards, server workers) all follow one of a small set of
+// shapes; a goroutine following none of them is either leaked — alive
+// past the work it was spawned for, holding its captures — or joined
+// through a side channel the reader cannot audit.
+//
+// Accepted disciplines, checked over the goroutine's body (a function
+// literal, or the declaration body of a same-package callee):
+//
+//   - wg.Done() — directly or deferred — on a WaitGroup-rooted object
+//     that some function in the package calls Wait() on;
+//   - a select statement (quit-channel and context-driven workers);
+//   - ranging over a channel (producer-consumer workers end at close);
+//   - a ctx.Done()/ctx.Err() probe;
+//   - receiving from any channel (quit/tick signals);
+//   - a completion channel: the body sends on or closes a channel local
+//     to the spawning function, which the spawner receives from.
+//
+// A go statement whose callee cannot be resolved to a body in this
+// package (a func-typed value, an external function) is flagged: its
+// discipline, if any, is invisible at the spawn site. Approximation
+// notes live in DESIGN.md §17.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutine with no visible join or cancellation discipline",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if !resultAffecting(pass.Pkg.RelPath) {
+		return
+	}
+	decls := packageFuncDecls(pass.Pkg)
+	waited := waitedObjects(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, gs, enclosingFuncBody(stack[:len(stack)-1]), decls, waited)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, gs *ast.GoStmt, spawner *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, waited map[types.Object]bool) {
+	info := pass.Pkg.Info
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := calleeFunc(info, gs.Call); fn != nil {
+		if fd := decls[fn]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(), "goroutine body is not visible here (func value or external callee); spawn a literal or same-package worker so its join/cancel discipline can be checked (DESIGN.md §17)")
+		return
+	}
+	if goroutineDisciplined(info, body, spawner, gs, waited) {
+		return
+	}
+	pass.Reportf(gs.Pos(), "goroutine has no visible join or cancellation discipline (WaitGroup.Done with a package-visible Wait, select, channel receive/range, ctx probe, or completion channel); DESIGN.md §17")
+}
+
+// goroutineDisciplined scans the goroutine body for any accepted
+// discipline.
+func goroutineDisciplined(info *types.Info, body *ast.BlockStmt, spawner *ast.BlockStmt, gs *ast.GoStmt, waited map[types.Object]bool) bool {
+	ok := false
+	var completionChans []types.Object
+	shallowInspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.SelectStmt:
+			ok = true
+		case *ast.UnaryExpr:
+			// Any receive: quit channels, tick channels, ctx.Done().
+			if m.Op == token.ARROW {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			if tv, found := info.Types[m.X]; found {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCtxProbe(info, m) {
+				ok = true
+				return false
+			}
+			if sel, isSel := ast.Unparen(m.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" {
+				if obj := rootObject(info, sel.X); obj != nil && waited[obj] {
+					ok = true
+					return false
+				}
+			}
+			// close(ch) on a spawner-local channel may be a completion
+			// signal; collect and check against the spawner below.
+			if id, isIdent := ast.Unparen(m.Fun).(*ast.Ident); isIdent {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" && len(m.Args) == 1 {
+					if obj := rootObject(info, m.Args[0]); obj != nil {
+						completionChans = append(completionChans, obj)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := rootObject(info, m.Chan); obj != nil {
+				completionChans = append(completionChans, obj)
+			}
+		}
+		return !ok
+	})
+	if ok {
+		return true
+	}
+	// Completion-channel shape: the spawner receives from a channel the
+	// goroutine signals on.
+	if spawner == nil {
+		return false
+	}
+	for _, ch := range completionChans {
+		if spawnerReceivesFrom(info, spawner, gs, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnerReceivesFrom reports whether the spawning function, outside the
+// go statement itself, receives from or ranges over the channel object.
+func spawnerReceivesFrom(info *types.Info, spawner *ast.BlockStmt, gs *ast.GoStmt, ch types.Object) bool {
+	found := false
+	ast.Inspect(spawner, func(n ast.Node) bool {
+		if found || n == gs {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && rootObject(info, m.X) == ch {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if rootObject(info, m.X) == ch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves an expression to the variable or field object it
+// names: `wg` to the local, `s.wg` to the field.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// waitedObjects collects every object the package calls Wait() on.
+// Done() in a goroutine only counts as a join when someone visibly
+// waits.
+func waitedObjects(pkg *Package) map[types.Object]bool {
+	waited := make(map[types.Object]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" {
+				return true
+			}
+			if obj := rootObject(pkg.Info, sel.X); obj != nil {
+				waited[obj] = true
+			}
+			return true
+		})
+	}
+	return waited
+}

@@ -9,9 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // A Package is one parsed and type-checked module package.
@@ -28,6 +30,9 @@ type Package struct {
 	// Types and Info hold the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// cfgs memoizes Pass.CFG per function body. Analyzers for one
+	// package run sequentially on one goroutine, so no lock.
+	cfgs map[*ast.BlockStmt]*FuncCFG
 }
 
 // A Module is the loaded repository: every non-test package, parsed and
@@ -58,6 +63,20 @@ func (m *Module) IsOwnerTransfer(obj types.Object) bool {
 // the source importer shipped with the toolchain, so the loader needs no
 // precompiled export data and no third-party dependencies.
 func LoadModule(root string) (*Module, error) {
+	return LoadModuleWorkers(root, runtime.GOMAXPROCS(0))
+}
+
+// LoadModuleWorkers is LoadModule with an explicit type-check worker
+// count. Parsing is sequential (it shares one FileSet and is cheap);
+// type-checking is scheduled over the package DAG so independent
+// packages check concurrently. The source importer the stdlib chain
+// rests on is NOT safe for concurrent use, so every Import — and the
+// module-result map it consults — is serialized behind one mutex;
+// parallelism comes from the checkers' own work, which dominates once
+// the stdlib is warm. workers < 2 falls back to the plain sequential
+// loop. The resulting Module is identical either way: packages are
+// collected in dependency order after all checks complete.
+func LoadModuleWorkers(root string, workers int) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -124,32 +143,163 @@ func LoadModule(root string) (*Module, error) {
 		return nil, err
 	}
 
-	checked := make(map[string]*types.Package)
-	imp := &chainImporter{
-		module: checked,
+	imp := &lockedImporter{chain: chainImporter{
+		module: make(map[string]*types.Package),
 		std:    importer.ForCompiler(fset, "source", nil),
+	}}
+	if workers > 1 && len(order) > 1 {
+		err = checkParallel(fset, order, byPath, modPath, imp, workers)
+	} else {
+		err = checkSequential(fset, order, imp)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Single-threaded epilogue: the Module's package order and the
+	// owner-transfer set are assembled identically at any worker count.
 	for _, pkg := range order {
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
-		}
-		pkg.Types = tpkg
-		pkg.Info = info
-		checked[pkg.Path] = tpkg
-		for obj := range ownerTransferFuncs(info, pkg.Files) {
+		for obj := range ownerTransferFuncs(pkg.Info, pkg.Files) {
 			mod.ownerTransfer[obj] = true
 		}
 		mod.Packages = append(mod.Packages, pkg)
 	}
 	return mod, nil
+}
+
+// checkOne type-checks a single package, publishing the result to the
+// importer's module map for its dependents.
+func checkOne(fset *token.FileSet, pkg *Package, imp *lockedImporter) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	imp.publish(pkg.Path, tpkg)
+	return nil
+}
+
+func checkSequential(fset *token.FileSet, order []*Package, imp *lockedImporter) error {
+	for _, pkg := range order {
+		if err := checkOne(fset, pkg, imp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkParallel schedules type-checking over the module-internal import
+// DAG: a package becomes ready when its last in-module dependency
+// completes. A failed package poisons its dependents — they complete
+// without checking — and the topologically first failure is returned,
+// matching the error the sequential loop would have produced.
+func checkParallel(fset *token.FileSet, order []*Package, byPath map[string]*Package, modPath string, imp *lockedImporter, workers int) error {
+	deps := make(map[string][]string, len(order))
+	dependents := make(map[string][]string, len(order))
+	remaining := make(map[string]int, len(order))
+	for _, pkg := range order {
+		ds := moduleDeps(pkg, byPath, modPath)
+		deps[pkg.Path] = ds
+		remaining[pkg.Path] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], pkg.Path)
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		failed = make(map[string]bool)  // own or inherited failure
+		errs   = make(map[string]error) // own type-check errors only
+		ready  = make(chan *Package, len(order))
+		done   = make(chan struct{}, len(order))
+	)
+	for _, pkg := range order {
+		if remaining[pkg.Path] == 0 {
+			ready <- pkg
+		}
+	}
+	finish := func(pkg *Package, err error) {
+		mu.Lock()
+		if err != nil {
+			failed[pkg.Path] = true
+			errs[pkg.Path] = err
+		}
+		for _, d := range dependents[pkg.Path] {
+			remaining[d]--
+			if remaining[d] == 0 {
+				ready <- byPath[d]
+			}
+		}
+		mu.Unlock()
+		done <- struct{}{}
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range ready {
+				mu.Lock()
+				poisoned := false
+				for _, d := range deps[pkg.Path] {
+					if failed[d] {
+						poisoned = true
+						break
+					}
+				}
+				if poisoned {
+					failed[pkg.Path] = true
+				}
+				mu.Unlock()
+				if poisoned {
+					finish(pkg, nil)
+					continue
+				}
+				finish(pkg, checkOne(fset, pkg, imp))
+			}
+		}()
+	}
+	for range order {
+		<-done
+	}
+	close(ready)
+	wg.Wait()
+	// Deterministic error selection: the first failure in topo order is
+	// what the sequential loop would have hit.
+	for _, pkg := range order {
+		if err := errs[pkg.Path]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moduleDeps lists pkg's module-internal imports that exist in the
+// module, sorted.
+func moduleDeps(pkg *Package, byPath map[string]*Package, modPath string) []string {
+	set := make(map[string]bool)
+	for _, file := range pkg.Files {
+		for _, spec := range file.Imports {
+			dep, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (dep == modPath || strings.HasPrefix(dep, modPath+"/")) && byPath[dep] != nil {
+				set[dep] = true
+			}
+		}
+	}
+	return sortedNames(set)
 }
 
 // sortPackages orders packages so every module-internal import precedes
@@ -226,6 +376,28 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 		return pkg, nil
 	}
 	return c.std.Import(path)
+}
+
+// lockedImporter serializes every Import behind one mutex: the source
+// importer underneath keeps unguarded internal caches (and parses into
+// the shared FileSet), so concurrent checkers must take turns through
+// it. The same mutex guards the module-result map.
+type lockedImporter struct {
+	mu    sync.Mutex
+	chain chainImporter
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain.Import(path)
+}
+
+// publish records a completed module package for later imports.
+func (l *lockedImporter) publish(path string, pkg *types.Package) {
+	l.mu.Lock()
+	l.chain.module[path] = pkg
+	l.mu.Unlock()
 }
 
 // readModulePath extracts the module path from a go.mod file.

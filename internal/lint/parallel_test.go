@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeTestModule lays out a small module with a three-package
+// dependency chain and one violation per layer, so the parallel loader
+// has real DAG edges to schedule and real findings to order.
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module pcapsim\n\ngo 1.21\n")
+	write("internal/sim/a.go", `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("internal/trace/b.go", `package trace
+
+import "pcapsim/internal/sim"
+
+func Total(m map[string]float64) float64 {
+	_ = sim.Stamp()
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	write("cmd/x/main.go", `package main
+
+import (
+	"os"
+
+	"pcapsim/internal/trace"
+)
+
+func main() {
+	f, _ := os.Create("out")
+	f.Close()
+	_ = trace.Total(map[string]float64{"a": 1})
+}
+`)
+	return root
+}
+
+// TestRunModuleWorkersDeterministic pins the parallel contract: the
+// finding list is identical at any worker count, including a count far
+// above the package count.
+func TestRunModuleWorkersDeterministic(t *testing.T) {
+	root := writeTestModule(t)
+	seq, err := RunModuleWorkers(root, All(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("seeded module produced no findings")
+	}
+	// Every layer of the dependency chain must have contributed: the
+	// leaf (nondet), the middle (floatdet over the map fold), and the
+	// root command (errcheck).
+	byAnalyzer := make(map[string]bool)
+	for _, f := range seq {
+		byAnalyzer[f.Analyzer] = true
+	}
+	for _, want := range []string{"nondet-source", "floatdet", "errcheck-lite"} {
+		if !byAnalyzer[want] {
+			t.Errorf("seeded module produced no %s finding: %v", want, seq)
+		}
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := RunModuleWorkers(root, All(), nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d findings differ from sequential:\nseq: %v\npar: %v", workers, seq, par)
+		}
+	}
+}
+
+// TestCheckParallelPropagatesFailure pins error behavior: a type error
+// in a leaf package surfaces as that package's error — not a confusing
+// downstream import failure — at any worker count.
+func TestCheckParallelPropagatesFailure(t *testing.T) {
+	root := writeTestModule(t)
+	bad := filepath.Join(root, "internal/sim/bad.go")
+	if err := os.WriteFile(bad, []byte("package sim\n\nfunc Broken() int { return \"no\" }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunModuleWorkers(root, All(), nil, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: broken module loaded without error", workers)
+		}
+		if got := err.Error(); !strings.Contains(got, "pcapsim/internal/sim") {
+			t.Errorf("workers=%d: error %q does not name the failing package", workers, got)
+		}
+	}
+}

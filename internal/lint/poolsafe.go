@@ -15,6 +15,29 @@ import (
 // exactly the aliasing the arena/pool rewrite's determinism argument
 // forbids.
 //
+// v2 (this implementation) proves the Put obligation with a forward
+// may-dataflow over the function's control-flow graph (cfg.go): the
+// tracked state is "a path exists on which Get has executed but the
+// value has not yet been Put or transferred". The Get binding generates
+// the obligation, Put(x)/Put(&x), a call to an //pcaplint:owner-transfer
+// function with x as an argument, or a defer doing either kills it (a
+// defer is an exit-edge action: it covers exactly the exits reachable
+// from its registration point), and any return-sink edge reached while
+// the obligation may be outstanding is a leak — reported once per Get
+// site at the first (earliest) leaking return, or at the Get itself
+// when the leak is falling off the end of the body. Panic exits are
+// exempt. Unlike PR 5's structural scan (poolsafe_v1.go), the dataflow
+// follows goto, labeled break/continue, switch and select paths, so an
+// early error return reached through any of them is covered.
+//
+// Remaining approximations, all documented in DESIGN.md §17: aliasing
+// through a second variable is invisible (the analysis tracks the bound
+// ident's types.Object only); rebinding the variable while obligated is
+// treated as the same obligation continuing; a value bound by rebinding
+// a variable that is declared outside the enclosing function (a
+// captured closure variable) is only escape-checked, since its Put may
+// legally happen in the enclosing function after the closure returns.
+//
 // Two escape hatches, both spelled in the source where reviewers see
 // them:
 //
@@ -24,18 +47,13 @@ import (
 //     passing a pooled value TO such a function transfers ownership away
 //     and satisfies the Put obligation.
 //   - a reasoned //pcaplint:ignore poolsafe directive, for cases the
-//     structural analysis cannot follow.
+//     analysis cannot follow.
 //
-// The analysis is intentionally structural, not a full CFG: it scans the
-// statements of the value's scope in order, branching through
-// if/else, and treats panic/os.Exit/Fatal-style calls as path ends.
-// Aliasing through a second variable and closures that capture the value
-// (other than `defer func() { pool.Put(x) }()`, which counts as a Put)
-// are outside the model. It runs on every package: pooling outside the
-// hot path still needs correct ownership.
+// It runs on every package: pooling outside the hot path still needs
+// correct ownership.
 var PoolSafe = &Analyzer{
 	Name: "poolsafe",
-	Doc:  "sync.Pool.Get value escapes its function or misses Put on a non-panic path",
+	Doc:  "sync.Pool.Get value escapes its function or misses Put on a non-panic path (CFG dataflow)",
 	Run:  runPoolSafe,
 }
 
@@ -130,10 +148,10 @@ func checkGetSite(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
 	}
 }
 
-// checkBoundGet handles `x := pool.Get().(*T)` (plain or comma-ok, at
-// block level or as an if statement's init) — the supported binding
-// shapes. It then runs the escape scan and the Put path scan over the
-// variable's scope.
+// checkBoundGet handles `x := pool.Get().(*T)` (plain or comma-ok,
+// including as an if/switch init) — the supported binding shapes. It
+// runs the escape scan and then the must-reach-Put dataflow over the
+// enclosing function's CFG.
 func checkBoundGet(pass *Pass, call *ast.CallExpr, assign *ast.AssignStmt, outer []ast.Node) {
 	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
 	if !ok {
@@ -152,44 +170,73 @@ func checkBoundGet(pass *Pass, call *ast.CallExpr, assign *ast.AssignStmt, outer
 	if obj == nil {
 		return
 	}
-	c := &poolCheck{pass: pass, obj: obj, get: call}
 
-	// Scope: statements the value lives through.
-	var scope []ast.Stmt
-	declared := assign.Tok == token.DEFINE
-	if len(outer) > 0 {
-		if ifStmt, ok := outer[len(outer)-1].(*ast.IfStmt); ok && ifStmt.Init == assign {
-			// The comma-ok idiom: if x, ok := pool.Get().(*T); ok { ... }.
-			// The value only exists on the ok branch.
-			scope = ifStmt.Body.List
-			c.run(scope, declared)
-			return
-		}
-	}
-	block := enclosingBlock(outer)
-	if block == nil {
-		pass.Reportf(call.Pos(), "sync.Pool value is bound in an unanalyzed position; bind it at statement level")
+	// The innermost enclosing function owns the CFG the value flows
+	// through; a Get inside a closure is checked against the closure's
+	// own body.
+	body := enclosingFuncBody(outer)
+	if body == nil {
 		return
 	}
-	for idx, s := range block.List {
-		if s == assign {
-			scope = block.List[idx+1:]
-			break
+
+	// The comma-ok idiom `if x, ok := pool.Get().(*T); ok { ... }`
+	// only yields a live value on the ok branch: the obligation is
+	// generated at the then-branch entry, not at the assignment.
+	var commaOkIf *ast.IfStmt
+	if len(assign.Lhs) == 2 && len(outer) > 0 {
+		if ifStmt, ok := outer[len(outer)-1].(*ast.IfStmt); ok && ifStmt.Init == assign {
+			commaOkIf = ifStmt
 		}
 	}
-	c.run(scope, declared)
+
+	c := &poolCheck{pass: pass, obj: obj, get: call}
+	// Escape scan: AST-structural, over every statement the value can
+	// live through (anything ending at or after the binding).
+	for _, s := range statementsFrom(body, assign) {
+		c.escapes(s)
+	}
+	if c.done {
+		return
+	}
+
+	// Rebinding a variable that is declared OUTSIDE this function (a
+	// captured closure variable): the enclosing function may Put it
+	// after this one returns, so only the escape scan applies.
+	if assign.Tok != token.DEFINE && !(body.Pos() <= obj.Pos() && obj.Pos() <= body.End()) {
+		return
+	}
+
+	c.flow(pass.CFG(body), assign, commaOkIf)
 }
 
-func enclosingBlock(stack []ast.Node) *ast.BlockStmt {
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 	for i := len(stack) - 1; i >= 0; i-- {
-		if b, ok := stack[i].(*ast.BlockStmt); ok {
-			return b
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
 		}
 	}
 	return nil
 }
 
-// poolCheck scans the scope of one bound pool value.
+// statementsFrom returns the top-level statements of body that end at
+// or after the binding — the statements the bound value can live
+// through.
+func statementsFrom(body *ast.BlockStmt, assign *ast.AssignStmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range body.List {
+		if s.End() >= assign.Pos() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// poolCheck tracks one bound pool value.
 type poolCheck struct {
 	pass *Pass
 	obj  types.Object
@@ -205,24 +252,103 @@ func (c *poolCheck) violate(pos token.Pos, format string, args ...any) {
 	c.pass.Reportf(pos, format, args...)
 }
 
-// run performs the escape scan, then the Put path scan. declared is
-// false for a plain `=` rebinding of an outer variable, where the value
-// outlives the scanned block and the end-of-scope obligation cannot be
-// checked locally (escapes and early returns still are).
-func (c *poolCheck) run(scope []ast.Stmt, declared bool) {
-	for _, s := range scope {
-		c.escapes(s)
+// flow runs the must-reach-Put dataflow: a may-analysis of the
+// outstanding obligation (state 1 = "some path got the value and has
+// not Put it"), joined with OR at merges.
+func (c *poolCheck) flow(g *FuncCFG, assign *ast.AssignStmt, commaOkIf *ast.IfStmt) {
+	// Locate the generation point.
+	var genNode ast.Node = assign
+	var genBlock *CFGBlock
+	if commaOkIf != nil {
+		// The block holding the if's init assignment branches to the
+		// then body first (cfg.go's documented edge order).
+		for _, blk := range g.Blocks {
+			for _, n := range blk.Nodes {
+				if n == ast.Node(assign) {
+					if len(blk.Succs) > 0 {
+						genBlock = blk.Succs[0]
+					}
+				}
+			}
+		}
+		if genBlock == nil {
+			return
+		}
+		genNode = nil
 	}
-	if c.done {
-		return
+
+	transfer := func(blk *CFGBlock, in uint8) uint8 {
+		s := in
+		if blk == genBlock {
+			s = 1
+		}
+		for _, n := range blk.Nodes {
+			if n == genNode {
+				s = 1
+				continue
+			}
+			if s == 1 && c.consumesNode(n) {
+				s = 0
+			}
+		}
+		return s
 	}
-	fallsThrough, satisfied := c.scan(scope, false)
-	if c.done {
-		return
+	in, reachable := g.Forward(0,
+		func(a, b uint8) uint8 { return a | b },
+		transfer)
+
+	// Report the earliest return reached while the obligation may be
+	// outstanding; falling off the end of the body counts too, blamed
+	// on the Get itself. Panic-sink edges are exempt.
+	var (
+		firstReturn token.Pos
+		fallsOff    bool
+	)
+	for _, blk := range g.Blocks {
+		if !reachable[blk.Index] || !hasEdgeTo(blk, g.Return) {
+			continue
+		}
+		s := in[blk.Index]
+		if blk == genBlock {
+			s = 1
+		}
+		endsInReturn := false
+		for _, n := range blk.Nodes {
+			if n == genNode {
+				s = 1
+				continue
+			}
+			if s == 1 && c.consumesNode(n) {
+				s = 0
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && s == 1 {
+				if firstReturn == token.NoPos || ret.Pos() < firstReturn {
+					firstReturn = ret.Pos()
+				}
+			}
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				endsInReturn = true
+			}
+		}
+		if !endsInReturn && s == 1 {
+			fallsOff = true
+		}
 	}
-	if fallsThrough && !satisfied && declared {
+	switch {
+	case firstReturn != token.NoPos:
+		c.violate(firstReturn, "sync.Pool value does not reach Put before this return; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
+	case fallsOff:
 		c.violate(c.get.Pos(), "sync.Pool value goes out of scope without Put; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
 	}
+}
+
+func hasEdgeTo(from, to *CFGBlock) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
 }
 
 // escapes reports stores that would give the pooled value a second
@@ -235,7 +361,7 @@ func (c *poolCheck) escapes(s ast.Stmt) {
 		switch st := n.(type) {
 		case *ast.FuncLit:
 			// Closures are outside the model; defer func(){Put(x)}() is
-			// still recognized by the path scan's subtree search.
+			// still recognized by the dataflow's subtree search.
 			return false
 		case *ast.AssignStmt:
 			for i, rhs := range st.Rhs {
@@ -273,99 +399,17 @@ func (c *poolCheck) escapes(s ast.Stmt) {
 	})
 }
 
-// scan walks a statement list in order, tracking whether the Put
-// obligation is satisfied. It returns whether control can fall off the
-// end of the list and the obligation state if it does.
-func (c *poolCheck) scan(stmts []ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
-	for _, s := range stmts {
-		ft, after := c.scanStmt(s, sat)
-		if !ft {
-			return false, after
-		}
-		sat = after
-	}
-	return true, sat
-}
-
-func (c *poolCheck) scanStmt(s ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
-	switch st := s.(type) {
-	case *ast.ReturnStmt:
-		if !sat {
-			c.violate(st.Pos(), "sync.Pool value does not reach Put before this return; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
-		}
-		return false, sat
-	case *ast.BlockStmt:
-		return c.scan(st.List, sat)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			_, sat = c.scanStmt(st.Init, sat)
-		}
-		thenFT, thenSat := c.scan(st.Body.List, sat)
-		elseFT, elseSat := true, sat
-		if st.Else != nil {
-			elseFT, elseSat = c.scanStmt(st.Else, sat)
-		}
-		switch {
-		case !thenFT && !elseFT:
-			return false, sat
-		case !thenFT:
-			return true, elseSat
-		case !elseFT:
-			return true, thenSat
-		default:
-			return true, thenSat && elseSat
-		}
-	case *ast.ForStmt:
-		// The loop may run zero times: Put inside it cannot satisfy the
-		// obligation after it, but violations inside are still reported.
-		c.scan(st.Body.List, sat)
-		return true, sat
-	case *ast.RangeStmt:
-		c.scan(st.Body.List, sat)
-		return true, sat
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		// Conservative: scan case bodies for violations; a Put inside a
-		// case does not satisfy the obligation afterwards.
-		ast.Inspect(st, func(n ast.Node) bool {
-			if clause, ok := n.(*ast.CaseClause); ok {
-				c.scan(clause.Body, sat)
-				return false
-			}
-			if clause, ok := n.(*ast.CommClause); ok {
-				c.scan(clause.Body, sat)
-				return false
-			}
-			return true
-		})
-		return true, sat
-	case *ast.LabeledStmt:
-		return c.scanStmt(st.Stmt, sat)
-	case *ast.BranchStmt:
-		// break/continue/goto leave this statement sequence; where they
-		// rejoin is beyond the structural model, so neither report nor
-		// satisfy.
-		return false, sat
-	case *ast.ExprStmt:
-		if isTerminalCall(c.pass.Pkg.Info, st.X) {
-			return false, sat
-		}
-		return true, sat || c.consumes(st)
-	default:
-		return true, sat || c.consumes(st)
-	}
-}
-
-// consumes reports whether the statement's subtree puts the value back
+// consumesNode reports whether the node's subtree puts the value back
 // (pool.Put(x), pool.Put(&x), defer pool.Put(x), including inside a
 // deferred closure) or hands it to an //pcaplint:owner-transfer
 // function.
-func (c *poolCheck) consumes(s ast.Stmt) bool {
+func (c *poolCheck) consumesNode(n ast.Node) bool {
 	found := false
-	ast.Inspect(s, func(n ast.Node) bool {
+	ast.Inspect(n, func(m ast.Node) bool {
 		if found {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
+		call, ok := m.(*ast.CallExpr)
 		if !ok {
 			return true
 		}

@@ -1,0 +1,369 @@
+package lint
+
+// poolSafeV1 is PR 5's structural poolsafe scan, retained unregistered
+// as the reference implementation for the v2 regression test: the
+// statement-order walk silently drops goto paths (scanStmt returns at
+// BranchStmt without following the jump), so a leak reached only
+// through `goto` is provably invisible to it while the CFG dataflow in
+// poolsafe.go reports it. Nothing outside poolsafe_v1_test.go runs it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var poolSafeV1 = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "structural PR 5 poolsafe (regression reference only)",
+	Run:  runPoolSafeV1,
+}
+
+func runPoolSafeV1(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A designated transfer point is audited by hand; its Get may
+			// flow to the caller.
+			if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil && pass.OwnerTransfer(obj) {
+				continue
+			}
+			checkPoolGetsV1(pass, fd)
+		}
+	}
+}
+
+// checkPoolGetsV1 finds every sync.Pool.Get call under fd and vets its
+// binding, escapes, and Put coverage.
+func checkPoolGetsV1(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(pass.Pkg.Info, call, "Get") {
+			checkGetSiteV1(pass, call, append([]ast.Node(nil), stack...))
+		}
+		return true
+	})
+}
+
+// checkGetSiteV1 classifies how one Get call's result is used. stack runs
+// from the enclosing FuncDecl down to the call itself.
+func checkGetSiteV1(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Walk up through the type assertion / parens wrapping the call.
+	i := len(stack) - 2
+	for i >= 0 {
+		switch stack[i].(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return
+	}
+	switch parent := stack[i].(type) {
+	case *ast.AssignStmt:
+		checkBoundGetV1(pass, call, parent, stack[:i])
+	case *ast.ReturnStmt:
+		pass.Reportf(call.Pos(), "sync.Pool value is returned directly; only an //pcaplint:owner-transfer function may hand a pooled value to its caller")
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.Pkg.Info, parent); fn != nil && pass.OwnerTransfer(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(), "sync.Pool value is passed straight to a call; bind it to a variable so its Put is checkable")
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "sync.Pool value is discarded; bind it and Put it back")
+	default:
+		pass.Reportf(call.Pos(), "sync.Pool value is used in an unanalyzed position; bind it with x := pool.Get().(*T)")
+	}
+}
+
+// checkBoundGetV1 handles `x := pool.Get().(*T)` (plain or comma-ok, at
+// block level or as an if statement's init) — the supported binding
+// shapes. It then runs the escape scan and the Put path scan over the
+// variable's scope.
+func checkBoundGetV1(pass *Pass, call *ast.CallExpr, assign *ast.AssignStmt, outer []ast.Node) {
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		pass.Reportf(call.Pos(), "sync.Pool value is assigned to a non-variable; bind it with x := pool.Get().(*T)")
+		return
+	}
+	if lhs.Name == "_" {
+		pass.Reportf(call.Pos(), "sync.Pool value is discarded; bind it and Put it back")
+		return
+	}
+	info := pass.Pkg.Info
+	obj := info.Defs[lhs]
+	if obj == nil {
+		obj = info.Uses[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	c := &poolCheckV1{pass: pass, obj: obj, get: call}
+
+	// Scope: statements the value lives through.
+	var scope []ast.Stmt
+	declared := assign.Tok == token.DEFINE
+	if len(outer) > 0 {
+		if ifStmt, ok := outer[len(outer)-1].(*ast.IfStmt); ok && ifStmt.Init == assign {
+			// The comma-ok idiom: if x, ok := pool.Get().(*T); ok { ... }.
+			// The value only exists on the ok branch.
+			scope = ifStmt.Body.List
+			c.run(scope, declared)
+			return
+		}
+	}
+	block := enclosingBlockV1(outer)
+	if block == nil {
+		pass.Reportf(call.Pos(), "sync.Pool value is bound in an unanalyzed position; bind it at statement level")
+		return
+	}
+	for idx, s := range block.List {
+		if s == assign {
+			scope = block.List[idx+1:]
+			break
+		}
+	}
+	c.run(scope, declared)
+}
+
+func enclosingBlockV1(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// poolCheckV1 scans the scope of one bound pool value.
+type poolCheckV1 struct {
+	pass *Pass
+	obj  types.Object
+	get  *ast.CallExpr
+	done bool // one finding per Get site
+}
+
+func (c *poolCheckV1) violate(pos token.Pos, format string, args ...any) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// run performs the escape scan, then the Put path scan. declared is
+// false for a plain `=` rebinding of an outer variable, where the value
+// outlives the scanned block and the end-of-scope obligation cannot be
+// checked locally (escapes and early returns still are).
+func (c *poolCheckV1) run(scope []ast.Stmt, declared bool) {
+	for _, s := range scope {
+		c.escapes(s)
+	}
+	if c.done {
+		return
+	}
+	fallsThrough, satisfied := c.scan(scope, false)
+	if c.done {
+		return
+	}
+	if fallsThrough && !satisfied && declared {
+		c.violate(c.get.Pos(), "sync.Pool value goes out of scope without Put; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
+	}
+}
+
+// escapes reports stores that would give the pooled value a second
+// owner.
+func (c *poolCheckV1) escapes(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if c.done {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			// Closures are outside the model; defer func(){Put(x)}() is
+			// still recognized by the path scan's subtree search.
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !c.isObj(rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					c.violate(st.Pos(), "sync.Pool value is stored into field %s; pooled values must stay function-local (DESIGN.md §10)", types.ExprString(lhs))
+				case *ast.IndexExpr:
+					c.violate(st.Pos(), "sync.Pool value is stored into an element of %s; pooled values must stay function-local (DESIGN.md §10)", types.ExprString(lhs.X))
+				case *ast.Ident:
+					if obj := c.pass.Pkg.Info.Uses[lhs]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+						c.violate(st.Pos(), "sync.Pool value is stored into package variable %s; pooled values must stay function-local (DESIGN.md §10)", lhs.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if c.mentionsObj(res) {
+					c.violate(st.Pos(), "sync.Pool value is returned; only an //pcaplint:owner-transfer function may hand a pooled value to its caller")
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if c.mentionsObj(st.Value) {
+				c.violate(st.Pos(), "sync.Pool value is sent on a channel; pooled values must stay function-local (DESIGN.md §10)")
+			}
+		case *ast.GoStmt:
+			if c.mentionsObj(st.Call) {
+				c.violate(st.Pos(), "sync.Pool value is captured by a go statement; the goroutine may outlive the Put")
+			}
+		}
+		return !c.done
+	})
+}
+
+// scan walks a statement list in order, tracking whether the Put
+// obligation is satisfied. It returns whether control can fall off the
+// end of the list and the obligation state if it does.
+func (c *poolCheckV1) scan(stmts []ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
+	for _, s := range stmts {
+		ft, after := c.scanStmt(s, sat)
+		if !ft {
+			return false, after
+		}
+		sat = after
+	}
+	return true, sat
+}
+
+func (c *poolCheckV1) scanStmt(s ast.Stmt, sat bool) (fallsThrough, satAfter bool) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		if !sat {
+			c.violate(st.Pos(), "sync.Pool value does not reach Put before this return; Put it on every non-panic path or hand it to an //pcaplint:owner-transfer function")
+		}
+		return false, sat
+	case *ast.BlockStmt:
+		return c.scan(st.List, sat)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			_, sat = c.scanStmt(st.Init, sat)
+		}
+		thenFT, thenSat := c.scan(st.Body.List, sat)
+		elseFT, elseSat := true, sat
+		if st.Else != nil {
+			elseFT, elseSat = c.scanStmt(st.Else, sat)
+		}
+		switch {
+		case !thenFT && !elseFT:
+			return false, sat
+		case !thenFT:
+			return true, elseSat
+		case !elseFT:
+			return true, thenSat
+		default:
+			return true, thenSat && elseSat
+		}
+	case *ast.ForStmt:
+		// The loop may run zero times: Put inside it cannot satisfy the
+		// obligation after it, but violations inside are still reported.
+		c.scan(st.Body.List, sat)
+		return true, sat
+	case *ast.RangeStmt:
+		c.scan(st.Body.List, sat)
+		return true, sat
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Conservative: scan case bodies for violations; a Put inside a
+		// case does not satisfy the obligation afterwards.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if clause, ok := n.(*ast.CaseClause); ok {
+				c.scan(clause.Body, sat)
+				return false
+			}
+			if clause, ok := n.(*ast.CommClause); ok {
+				c.scan(clause.Body, sat)
+				return false
+			}
+			return true
+		})
+		return true, sat
+	case *ast.LabeledStmt:
+		return c.scanStmt(st.Stmt, sat)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement sequence; where they
+		// rejoin is beyond the structural model, so neither report nor
+		// satisfy.
+		return false, sat
+	case *ast.ExprStmt:
+		if isTerminalCall(c.pass.Pkg.Info, st.X) {
+			return false, sat
+		}
+		return true, sat || c.consumes(st)
+	default:
+		return true, sat || c.consumes(st)
+	}
+}
+
+// consumes reports whether the statement's subtree puts the value back
+// (pool.Put(x), pool.Put(&x), defer pool.Put(x), including inside a
+// deferred closure) or hands it to an //pcaplint:owner-transfer
+// function.
+func (c *poolCheckV1) consumes(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		transfer := false
+		if isPoolMethod(c.pass.Pkg.Info, call, "Put") {
+			transfer = true
+		} else if fn := calleeFunc(c.pass.Pkg.Info, call); fn != nil && c.pass.OwnerTransfer(fn) {
+			transfer = true
+		}
+		if !transfer {
+			return true
+		}
+		for _, arg := range call.Args {
+			a := ast.Unparen(arg)
+			if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				a = ast.Unparen(u.X)
+			}
+			if c.isObj(a) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isObj reports whether e is exactly the tracked variable.
+func (c *poolCheckV1) isObj(e ast.Expr) bool {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && c.pass.Pkg.Info.Uses[ident] == c.obj
+}
+
+// mentionsObj reports whether the tracked variable appears anywhere in
+// e.
+func (c *poolCheckV1) mentionsObj(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && c.pass.Pkg.Info.Uses[ident] == c.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// funcSpan returns the line range of a named function in the corpus
+// package.
+func funcSpan(t *testing.T, mod *Module, pkg *Package, name string) (lo, hi int) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return mod.Fset.Position(fd.Pos()).Line, mod.Fset.Position(fd.End()).Line
+			}
+		}
+	}
+	t.Fatalf("function %s not in corpus", name)
+	return 0, 0
+}
+
+func findingsIn(fs []Finding, lo, hi int) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Line >= lo && f.Line <= hi {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestPoolSafeV2FindsWhatV1Missed is the acceptance regression for the
+// CFG rewrite: the corpus plants a leak-on-error-path reached only
+// through a goto (GotoLeak), which PR 5's structural scan provably
+// missed — its statement walk stops at BranchStmt without following
+// the jump — while the v2 dataflow reports it. Both implementations
+// run over the same loaded corpus so the comparison is apples to
+// apples.
+func TestPoolSafeV2FindsWhatV1Missed(t *testing.T) {
+	mod, pkg := loadCorpus(t, "poolsafe", "internal/pool")
+	v1 := runPackage(mod, pkg, []*Analyzer{poolSafeV1}, KnownNames())
+	v2 := runPackage(mod, pkg, []*Analyzer{PoolSafe}, KnownNames())
+
+	lo, hi := funcSpan(t, mod, pkg, "GotoLeak")
+	if got := findingsIn(v1, lo, hi); len(got) != 0 {
+		t.Errorf("structural v1 unexpectedly reports the goto leak: %v", got)
+	}
+	got := findingsIn(v2, lo, hi)
+	if len(got) != 1 {
+		t.Fatalf("CFG v2 findings in GotoLeak = %v, want exactly one", got)
+	}
+	const want = "does not reach Put before this return"
+	if msg := got[0].Message; !strings.Contains(msg, want) {
+		t.Errorf("v2 goto-leak message = %q, want substring %q", msg, want)
+	}
+
+	// The rewrite also retires a v1 false positive: a Put inside every
+	// switch case satisfies the obligation under the dataflow, while
+	// the structural scan could not credit it.
+	lo, hi = funcSpan(t, mod, pkg, "PutInEveryCase")
+	if got := findingsIn(v2, lo, hi); len(got) != 0 {
+		t.Errorf("v2 reports the switch-covered Put: %v", got)
+	}
+	if got := findingsIn(v1, lo, hi); len(got) == 0 {
+		t.Error("expected v1's documented false positive on PutInEveryCase to still fire (keeps the reference honest)")
+	}
+}

@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // All returns the registered analyzers in stable order. Every analyzer
@@ -14,6 +16,9 @@ func All() []*Analyzer {
 		NondetSource,
 		PoolSafe,
 		ErrcheckLite,
+		CtxFlow,
+		GoroLeak,
+		FloatDet,
 	}
 }
 
@@ -78,7 +83,16 @@ func Select(only, skip string) ([]*Analyzer, error) {
 // the FrameworkName analyzer. Findings come back in stable file/line
 // order with file paths relative to the module root.
 func RunModule(root string, analyzers []*Analyzer, patterns []string) ([]Finding, error) {
-	mod, err := LoadModule(root)
+	return RunModuleWorkers(root, analyzers, patterns, runtime.GOMAXPROCS(0))
+}
+
+// RunModuleWorkers is RunModule with an explicit worker count for both
+// loading and analysis. Findings are byte-identical at any worker
+// count: each package's findings land in that package's slot and the
+// concatenation follows the deterministic dependency order before the
+// final sort.
+func RunModuleWorkers(root string, analyzers []*Analyzer, patterns []string, workers int) ([]Finding, error) {
+	mod, err := LoadModuleWorkers(root, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -87,12 +101,44 @@ func RunModule(root string, analyzers []*Analyzer, patterns []string) ([]Finding
 	}
 
 	known := KnownNames()
-	var all []Finding
+	var targets []*Package
 	for _, pkg := range mod.Packages {
-		if !matchAny(pkg.RelPath, patterns, mod.Path) {
-			continue
+		if matchAny(pkg.RelPath, patterns, mod.Path) {
+			targets = append(targets, pkg)
 		}
-		all = append(all, runPackage(mod, pkg, analyzers, known)...)
+	}
+	perPkg := make([][]Finding, len(targets))
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers > 1 {
+		// Packages are independent at analysis time: the shared Module
+		// state (type results, owner-transfer set) is read-only now, and
+		// each Pass memoizes CFGs on its own package.
+		var wg sync.WaitGroup
+		idx := make(chan int, len(targets))
+		for i := range targets {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					perPkg[i] = runPackage(mod, targets[i], analyzers, known)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, pkg := range targets {
+			perPkg[i] = runPackage(mod, pkg, analyzers, known)
+		}
+	}
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
 	}
 	for i := range all {
 		if rel, err := filepath.Rel(root, all[i].File); err == nil {

@@ -32,8 +32,11 @@ func resultAffecting(relPath string) bool {
 
 // errcheckScope reports whether errcheck-lite covers the package: the
 // codec and persistence layers (a swallowed error silently corrupts trace
-// or state files) and every command.
+// or state files), the daemon's writers (a dropped Write/Flush error on
+// the SSE stream masks a client disconnect and keeps a dead job
+// streaming), and every command.
 func errcheckScope(relPath string) bool {
 	return relPath == "internal/trace" || relPath == "internal/persist" ||
+		relPath == "internal/server" || relPath == "internal/server/stats" ||
 		strings.HasPrefix(relPath, "cmd/")
 }

@@ -38,6 +38,7 @@ func TestErrcheckScope(t *testing.T) {
 	for _, p := range []string{
 		"internal/trace", "internal/persist", "cmd/benchjson",
 		"cmd/pcapd", "cmd/pcapload",
+		"internal/server", "internal/server/stats",
 	} {
 		if !errcheckScope(p) {
 			t.Errorf("%s not in the errcheck-lite scope", p)

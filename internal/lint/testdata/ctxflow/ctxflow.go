@@ -1,0 +1,215 @@
+// Package sim is the ctxflow corpus: contexts must be threaded, not
+// retained, and unbounded loops must observe cancellation (DESIGN.md
+// §17). Type-checked as pcapsim/internal/sim so result-affecting
+// scoping applies.
+package sim
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+)
+
+type handler struct {
+	ctx  context.Context
+	stop func() error
+}
+
+var globalCtx context.Context
+
+func step() {}
+
+// StoreInField is the canonical violation: the request context is
+// parked on the struct and outlives the call.
+func (h *handler) StoreInField(ctx context.Context) {
+	h.ctx = ctx // want "stored into field h.ctx"
+}
+
+// NewHandler smuggles the context in through a composite literal.
+func NewHandler(ctx context.Context) *handler {
+	return &handler{ctx: ctx} // want "stored into a composite literal"
+}
+
+// StoreInGlobal retains the context for the life of the process.
+func StoreInGlobal(ctx context.Context) {
+	globalCtx = ctx // want "stored into package variable globalCtx"
+}
+
+// StoreClosure retains the context transitively: the stored closure
+// captures it.
+func (h *handler) StoreClosure(ctx context.Context) {
+	h.stop = func() error { return ctx.Err() } // want "stored into field h.stop"
+}
+
+// SendCtx hands the context to whoever drains the channel.
+func SendCtx(ctx context.Context, c chan context.Context) {
+	c <- ctx // want "sent on a channel"
+}
+
+// BoundProbe is the sanctioned idiom: storing the cancellation probe
+// ctx.Err (a bound method value) threads cancellation into
+// context-free layers without retaining the context itself.
+func (h *handler) BoundProbe(ctx context.Context) {
+	h.stop = ctx.Err
+}
+
+// Threaded passes the context down the call chain — the rule's whole
+// point.
+func Threaded(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+// SuppressedStore documents a deliberate retention.
+func (h *handler) SuppressedStore(ctx context.Context) {
+	//pcaplint:ignore ctxflow corpus: long-lived watchdog keeps its root context by design
+	h.ctx = ctx
+}
+
+// SpinNoCheck is the loop-rule true positive: a context is in scope
+// but the condition-less loop never consults it.
+func SpinNoCheck(ctx context.Context) {
+	n := 0
+	for { // want "no cancellation check reachable on its back edge"
+		n++
+	}
+}
+
+// SpinWithSelect observes cancellation through a select every
+// iteration.
+func SpinWithSelect(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// SpinWithErrPoll polls ctx.Err on the back edge.
+func SpinWithErrPoll(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// Drain is the worklist true positive: the condition reads len(q), the
+// body grows q, and nothing checks for cancellation.
+func Drain(ctx context.Context, q []int) int {
+	total := 0
+	for len(q) > 0 { // want "no cancellation check reachable on its back edge"
+		x := q[0]
+		q = q[1:]
+		if x > 1 {
+			q = append(q, x/2)
+		}
+		total++
+	}
+	return total
+}
+
+// DrainChecked is the same worklist with the check in place.
+func DrainChecked(ctx context.Context, q []int) int {
+	total := 0
+	for len(q) > 0 {
+		if ctx.Err() != nil {
+			return total
+		}
+		x := q[0]
+		q = q[1:]
+		if x > 1 {
+			q = append(q, x/2)
+		}
+		total++
+	}
+	return total
+}
+
+// Bounded loops with a real termination condition are not subjects.
+func Bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// AddFloat is a lock-free retry loop: bounded by contention, exempt by
+// the CompareAndSwap rule.
+func AddFloat(ctx context.Context, bits *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(bits, old, nw) {
+			return
+		}
+	}
+}
+
+// decodeAll has no cancellation facility in scope: its loop is bounded
+// by its input and cancellation is enforced at the exec boundary.
+func decodeAll(xs []int) int {
+	i, total := 0, 0
+	for {
+		if i >= len(xs) {
+			return total
+		}
+		total += xs[i]
+		i++
+	}
+}
+
+// pump cancels through send, whose select sits one call deep in the
+// same package.
+func pump(ctx context.Context, out chan int) {
+	v := 0
+	for {
+		if !send(ctx, out, v) {
+			return
+		}
+		v++
+	}
+}
+
+func send(ctx context.Context, out chan int, v int) bool {
+	select {
+	case out <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+type shard struct {
+	interrupt func() error
+}
+
+// drainHeap mirrors the fleet shard: no context in scope, but the
+// error-returning interrupt hook is both the facility and the check.
+func (s *shard) drainHeap(q []int) int {
+	total := 0
+	for len(q) > 0 {
+		if s.interrupt() != nil {
+			return total
+		}
+		x := q[0]
+		q = q[1:]
+		if x > 1 {
+			q = append(q, x-2)
+		}
+		total++
+	}
+	return total
+}
+
+// SuppressedSpin documents a deliberate busy-wait.
+func SuppressedSpin(ctx context.Context) {
+	//pcaplint:ignore ctxflow corpus: busy-wait is bounded by the test harness
+	for {
+		step()
+	}
+}

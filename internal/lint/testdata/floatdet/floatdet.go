@@ -1,0 +1,110 @@
+// Package sim is the floatdet corpus: float folds must run in ID
+// order, not map-iteration or goroutine-completion order (DESIGN.md
+// §§14, 17). Type-checked as pcapsim/internal/sim so result-affecting
+// scoping applies.
+package sim
+
+import "sync"
+
+// SumWeights accumulates in map order: the classic violation.
+func SumWeights(m map[string]float64) float64 {
+	total := 0.0
+	for _, w := range m {
+		total += w // want "map iteration order"
+	}
+	return total
+}
+
+// ProdWeights spells the fold out; same order dependence.
+func ProdWeights(m map[string]float64) float64 {
+	p := 1.0
+	for _, w := range m {
+		p = p * w // want "map iteration order"
+	}
+	return p
+}
+
+type tally struct {
+	sum float32
+}
+
+// FieldAccum shows a field target: always treated as shared.
+func (t *tally) FieldAccum(m map[int]float32) {
+	for _, v := range m {
+		t.sum += v // want "map iteration order"
+	}
+}
+
+// CountKeys is integer accumulation: order-insensitive, not floatdet's
+// business.
+func CountKeys(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SumOrdered folds a slice in index order: the sanctioned shape.
+func SumOrdered(ws []float64) float64 {
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}
+
+// MaxScaled's compound assign hits a per-iteration local, which resets
+// each pass; max itself is order-insensitive.
+func MaxScaled(m map[string]float64) float64 {
+	best := 0.0
+	for _, w := range m {
+		scaled := w
+		scaled *= 2
+		if scaled > best {
+			best = scaled
+		}
+	}
+	return best
+}
+
+// ParallelSum folds in goroutine-completion order (and races, but
+// that is the race detector's department — the fold order alone is
+// enough to flag).
+func ParallelSum(ws []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w float64) {
+			defer wg.Done()
+			total += w // want "completion order"
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+// ShardedSum accumulates locally per goroutine and hands the partial to
+// a merger: the sanctioned parallel shape.
+func ShardedSum(shards [][]float64, out chan float64) {
+	for _, sh := range shards {
+		go func(sh []float64) {
+			local := 0.0
+			for _, w := range sh {
+				local += w
+			}
+			out <- local
+		}(sh)
+	}
+}
+
+// SumLoose documents a tolerated aggregate.
+func SumLoose(m map[string]float64) float64 {
+	total := 0.0
+	for _, w := range m {
+		//pcaplint:ignore floatdet corpus: diagnostic-only aggregate, tolerance documented
+		total += w
+	}
+	return total
+}

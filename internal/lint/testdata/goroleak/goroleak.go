@@ -1,0 +1,101 @@
+// Package trace is the goroleak corpus: every goroutine needs a
+// visible join or cancellation discipline (DESIGN.md §17).
+// Type-checked as pcapsim/internal/trace so result-affecting scoping
+// applies.
+package trace
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget spawns a func value: the body is invisible at the
+// spawn site, so the discipline cannot be audited.
+func FireAndForget(f func()) {
+	go f() // want "not visible here"
+}
+
+// Orphan has a visible body and no discipline at all.
+func Orphan(xs []int) {
+	total := 0
+	go func() { // want "no visible join or cancellation discipline"
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	_ = total
+}
+
+// Joined is the WaitGroup shape: Done in the goroutine, Wait in the
+// spawner.
+func Joined(xs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * 2
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+type pool struct {
+	wg  sync.WaitGroup
+	out chan int
+}
+
+// start spawns a named same-package worker; its body resolves and
+// carries both a field-WaitGroup Done and a range-over-channel.
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for v := range p.out {
+		_ = v
+	}
+}
+
+func (p *pool) stop() {
+	close(p.out)
+	p.wg.Wait()
+}
+
+// watch is the select-driven shape: the goroutine ends when the
+// context does.
+func (p *pool) watch(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.out:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RunAndSignal is the completion-channel shape: the goroutine closes a
+// spawner-local channel the spawner receives from.
+func RunAndSignal(d func()) {
+	done := make(chan struct{})
+	go func() {
+		d()
+		close(done)
+	}()
+	<-done
+}
+
+// Detached documents a deliberate fire-and-forget.
+func Detached(f func()) {
+	//pcaplint:ignore goroleak corpus: telemetry goroutine is deliberately detached
+	go f()
+}

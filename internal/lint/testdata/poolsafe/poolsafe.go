@@ -123,3 +123,96 @@ func Suppressed() {
 	b := pool.Get().(*buf) //pcaplint:ignore poolsafe stash registers the value with a finalizer that Puts it
 	stash(b)
 }
+
+// GotoLeak is the seeded leak-on-error-path the structural v1 scan
+// provably missed: the goto jumps over the Put straight to the error
+// return, and v1's statement-order walk drops goto paths instead of
+// following them. The CFG dataflow follows the jump;
+// poolsafe_v1_test.go pins that v1 stays silent here while v2 reports.
+func GotoLeak(fail bool) error {
+	b := pool.Get().(*buf)
+	if fail {
+		goto out
+	}
+	pool.Put(b)
+	return nil
+out:
+	return errBoom // want "does not reach Put before this return"
+}
+
+// LabeledBreakLeak is a true positive only the CFG can see: the labeled
+// break leaves both loops with the obligation still outstanding, and
+// the function falls off its end without a Put on that path.
+func LabeledBreakLeak(xs []int) {
+	b := pool.Get().(*buf) // want "goes out of scope without Put"
+loop:
+	for {
+		for _, x := range xs {
+			if x > 0 {
+				break loop
+			}
+		}
+		pool.Put(b)
+		return
+	}
+}
+
+// PutInEveryCase is a true negative for the dataflow: every switch case
+// puts the value back before the shared return. PR 5's structural scan
+// could not credit a Put inside a case body.
+func PutInEveryCase(mode int) error {
+	b := pool.Get().(*buf)
+	switch mode {
+	case 0:
+		pool.Put(b)
+	default:
+		use(b)
+		pool.Put(b)
+	}
+	return nil
+}
+
+// SelectPut is a true negative: a select runs exactly one clause and
+// both clauses put the value back.
+func SelectPut(c chan int) {
+	b := pool.Get().(*buf)
+	select {
+	case <-c:
+		pool.Put(b)
+	default:
+		pool.Put(b)
+	}
+}
+
+// MissedCase is a true positive: one select clause forgets the Put, so
+// the path through it reaches the return obligated.
+func MissedCase(c chan int) error {
+	b := pool.Get().(*buf)
+	select {
+	case <-c:
+		pool.Put(b)
+	default:
+		use(b)
+	}
+	return nil // want "does not reach Put before this return"
+}
+
+// DeferInLoop is a true negative: each iteration's deferred Put runs at
+// function exit and covers that iteration's value.
+func DeferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.Get().(*buf)
+		defer pool.Put(b)
+		use(b)
+	}
+}
+
+// PanicExit is a true negative: the non-Put path panics, and panic
+// exits are exempt from the Put obligation.
+func PanicExit(fail bool) {
+	b := pool.Get().(*buf)
+	if fail {
+		panic("boom")
+	}
+	pool.Put(b)
+}

@@ -470,6 +470,7 @@ type meter struct {
 }
 
 func newMeter(ctx context.Context, src trace.Source, local *stats.Local, job *Job) *meter {
+	//pcaplint:ignore ctxflow request-scoped by construction: the meter lives strictly inside the job's exec call and cannot outlive ctx
 	return &meter{src: src, ctx: ctx, local: local, job: job}
 }
 

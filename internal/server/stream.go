@@ -19,11 +19,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		httpError(w, http.StatusNotImplemented, "response writer cannot stream")
 		return
 	}
+	// Flush through the controller, not the bare Flusher: its Flush
+	// returns the transport error a dead client produces, where
+	// http.Flusher.Flush would swallow it and leave this loop parked on
+	// the change channel for one more (pointless) event.
+	rc := http.NewResponseController(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-store")
@@ -43,7 +47,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err := writeEvent(w, name, v); err != nil {
 			return // client went away
 		}
-		fl.Flush()
+		if err := rc.Flush(); err != nil {
+			return // client went away mid-flush
+		}
 		if terminal {
 			return
 		}
